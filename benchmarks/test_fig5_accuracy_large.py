@@ -1,0 +1,23 @@
+"""Figure 5: mean misprediction of the four large predictors (2Bc-gskew,
+multi-component, perceptron, gshare.fast) at large budgets."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import LARGE_BUDGETS, accuracy_instructions, write_result
+from repro.harness.figures import figure5
+
+
+def test_figure5_large_budget_accuracy(once):
+    figure = once(figure5, budgets=LARGE_BUDGETS, instructions=accuracy_instructions())
+    write_result("figure5", figure.render())
+
+    # Paper shape: the complex predictors are more accurate than
+    # gshare.fast at every budget (gshare.fast trades accuracy for a
+    # single-cycle pipeline), and the perceptron leads.
+    for budget in LARGE_BUDGETS:
+        fast = figure.series["gshare_fast"][budget]
+        assert figure.series["perceptron"][budget] < fast
+        assert figure.series["multicomponent"][budget] < fast
+        assert figure.series["perceptron"][budget] <= (
+            figure.series["multicomponent"][budget] + 1.0
+        )

@@ -1,0 +1,13 @@
+"""Table 1: the simulated machine parameters."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.harness.figures import table1
+
+
+def test_table1_parameters(once):
+    text = once(table1)
+    write_result("table1", text)
+    for expected in ("64 KB", "2 MB", "512 entry", "Issue width", "20"):
+        assert expected in text

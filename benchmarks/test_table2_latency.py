@@ -1,0 +1,23 @@
+"""Table 2: predictor access latencies from the SRAM delay model."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.harness.figures import table2
+from repro.timing.latency import table2 as latency_rows
+
+
+def test_table2_latencies(once):
+    text = once(table2)
+    write_result("table2", text)
+
+    rows = latency_rows()
+    # Paper shape: ~3 cycles at the small end, ~9-11 at 512KB-class
+    # budgets, monotonically nondecreasing in every column.
+    assert 2 <= rows[0].multicomponent_cycles <= 3
+    assert 2 <= rows[0].gskew_cycles <= 3
+    assert 9 <= rows[-1].gskew_cycles <= 12
+    assert 7 <= rows[-1].perceptron_cycles <= 10
+    for column in ("multicomponent_cycles", "gskew_cycles", "perceptron_cycles"):
+        values = [getattr(row, column) for row in rows]
+        assert values == sorted(values)

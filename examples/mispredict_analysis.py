@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Misprediction forensics: where do a predictor's errors come from?
+
+Uses the analysis toolkit to break a benchmark's mispredictions down by
+static branch site, compare two predictors head-to-head, and profile the
+trace's history-context density (the quantity that controls how well
+table predictors can train at a given trace length).
+
+Run:  python examples/mispredict_analysis.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build_predictor
+from repro.harness.analysis import (
+    compare_predictors,
+    history_context_profile,
+    per_site_accuracy,
+)
+from repro.harness.report import render_table
+from repro.workloads import spec2000_trace
+
+BUDGET = 64 * 1024
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    trace = spec2000_trace(benchmark, instructions=250_000)
+
+    # 1. Top offender sites for the perceptron.
+    sites = per_site_accuracy(build_predictor("perceptron", BUDGET), trace, top=10)
+    rows = [
+        (
+            f"{site.pc:#x}",
+            site.executions,
+            site.mispredictions,
+            f"{100 * site.misprediction_rate:.1f}%",
+            f"{site.taken_rate:.2f}",
+        )
+        for site in sites
+    ]
+    print(
+        render_table(
+            f"Top-10 mispredicting sites on {benchmark} (perceptron, 64KB)",
+            ["site", "execs", "wrong", "site rate", "taken rate"],
+            rows,
+        )
+    )
+    print()
+
+    # 2. Head-to-head: which sites does the perceptron win over gshare?
+    comparisons = compare_predictors(
+        build_predictor("gshare", BUDGET), build_predictor("perceptron", BUDGET), trace
+    )
+    wins = sum(1 for c in comparisons if c.delta > 0)
+    losses = sum(1 for c in comparisons if c.delta < 0)
+    saved = sum(c.delta for c in comparisons)
+    print(
+        f"perceptron vs gshare on {benchmark}: wins {wins} sites, loses {losses}, "
+        f"saves {saved} mispredictions net"
+    )
+    biggest = comparisons[0]
+    print(
+        f"largest swing: site {biggest.pc:#x} "
+        f"(gshare {biggest.mispredictions_a} wrong vs perceptron {biggest.mispredictions_b})"
+    )
+    print()
+
+    # 3. Training density: why table predictors are scale-sensitive.
+    for bits in (8, 14, 20):
+        profile = history_context_profile(trace, history_bits=bits)
+        print(
+            f"history {bits:2d} bits: {profile.contexts:6d} distinct (site, history) "
+            f"contexts, {profile.visits_per_context:5.1f} visits each, "
+            f"{100 * profile.cold_fraction:4.1f}% of branches are cold first-visits"
+        )
+    print(
+        "\nLonger histories fragment the context space; a 2-bit-counter table\n"
+        "needs each context visited a few times to train, which is why the\n"
+        "paper's billion-instruction runs support longer histories than the\n"
+        "short traces used in CI (see EXPERIMENTS.md, 'Known scale artifacts')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Deep dive into the gshare.fast predictor pipeline (Figure 4).
+
+Drives the cycle-accurate pipeline model tick by tick on a small branch
+stream and prints what the hardware does each cycle: line fetches launched
+with stale history, Branch Present / New History Bit latches carrying the
+in-flight speculative bits, single-cycle prediction delivery, and
+checkpoint-based misprediction recovery.
+
+Run:  python examples/pipelined_predictor_deep_dive.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import GshareFastPipeline, GshareFastPredictor
+
+
+def main() -> None:
+    functional = GshareFastPredictor(entries=4096, pht_latency=3, buffer_bits=3)
+    pipeline = GshareFastPipeline(functional)
+    print(
+        f"gshare.fast: {functional.table.size}-entry PHT, "
+        f"{functional.pht_latency}-cycle read, "
+        f"{1 << functional.buffer_bits}-entry PHT buffer, "
+        f"history length {functional.history.length}\n"
+    )
+
+    rng = random.Random(42)
+    pcs = [0x40_1000, 0x40_1010, 0x40_1044]
+    mispredicts = 0
+    for cycle in range(1, 25):
+        if cycle % 2:  # a branch every other cycle
+            pc = pcs[cycle % len(pcs)]
+            prediction = pipeline.tick(branch_pc=pc)
+            actual = rng.random() < 0.7
+            correct = pipeline.resolve(prediction, actual)
+            if not correct:
+                mispredicts += 1
+            print(
+                f"cycle {cycle:2d}: branch {pc:#x} -> predict "
+                f"{'T' if prediction.taken else 'N'} "
+                f"(index {prediction.pht_index:4d}, "
+                f"{'buffer hit' if prediction.buffer_hit else 'warm-up miss'}), "
+                f"actual {'T' if actual else 'N'}"
+                + ("  << recovery: history restored from checkpoint" if not correct else "")
+            )
+        else:
+            pipeline.tick()
+            print(
+                f"cycle {cycle:2d}: no branch; latches carry "
+                f"{pipeline.in_flight_bits} in-flight history bit(s)"
+            )
+
+    print(
+        f"\ndelivered latency: {pipeline.delivered_latency_cycles()} cycle "
+        f"(every prediction above was produced in its own tick)"
+    )
+    print(
+        f"buffer hits {pipeline.buffer_hits}, warm-up misses {pipeline.buffer_misses}, "
+        f"mispredictions {mispredicts}"
+    )
+
+    # The functional model makes bit-identical predictions on dense streams
+    # — demonstrate on a fresh pair.
+    functional2 = GshareFastPredictor(entries=4096, pht_latency=3, buffer_bits=3)
+    reference = GshareFastPredictor(entries=4096, pht_latency=3, buffer_bits=3)
+    pipeline2 = GshareFastPipeline(functional2)
+    agreements = 0
+    for i in range(500):
+        pc = pcs[i % len(pcs)]
+        taken = rng.random() < 0.6
+        p = pipeline2.tick(branch_pc=pc)
+        if p.taken == reference.predict(pc):
+            agreements += 1
+        pipeline2.resolve(p, taken)
+        reference.update(pc, taken)
+    print(
+        f"\npipeline vs functional model on a dense 500-branch stream: "
+        f"{agreements}/500 identical predictions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: predict a synthetic benchmark's branches and get an IPC.
+
+Shows the three layers a user touches:
+
+1. workloads  — generate a SPECint-2000 stand-in trace;
+2. predictors — build predictors at a hardware budget and measure accuracy;
+3. uarch      — run the cycle simulator to turn accuracy + latency into IPC.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_gshare_fast, build_predictor, measure_accuracy
+from repro.harness.report import render_table
+from repro.timing import predictor_latency
+from repro.uarch import CycleSimulator, SingleCyclePolicy
+from repro.workloads import get_profile, spec2000_trace
+
+BUDGET = 64 * 1024  # 64KB of predictor state
+BENCHMARK = "gcc"
+
+
+def main() -> None:
+    # 1. A deterministic synthetic trace standing in for 176.gcc.
+    trace = spec2000_trace(BENCHMARK, instructions=300_000)
+    print(
+        f"{BENCHMARK}: {trace.instruction_count} instructions, "
+        f"{trace.conditional_branch_count} conditional branches, "
+        f"{trace.static_branch_count()} static branch sites, "
+        f"taken rate {trace.taken_rate:.2f}\n"
+    )
+
+    # 2. Compare predictor accuracy at the same hardware budget.
+    rows = []
+    for family in ("bimodal", "gshare", "bimode", "2bcgskew", "multicomponent", "perceptron"):
+        predictor = build_predictor(family, BUDGET)
+        result = measure_accuracy(predictor, trace)
+        latency = predictor_latency(family, BUDGET)
+        rows.append((family, f"{result.misprediction_percent:.2f}", latency))
+    fast = build_gshare_fast(BUDGET)
+    fast_result = measure_accuracy(fast, trace)
+    rows.append(("gshare.fast", f"{fast_result.misprediction_percent:.2f}", 1))
+    print(
+        render_table(
+            f"Accuracy and access latency at a {BUDGET // 1024}KB budget",
+            ["predictor", "mispredict %", "latency (cycles)"],
+            rows,
+        )
+    )
+    print()
+
+    # 3. Cycle-simulate the pipelined gshare.fast for an IPC number.
+    simulator = CycleSimulator(
+        SingleCyclePolicy(build_gshare_fast(BUDGET)), ilp=get_profile(BENCHMARK).ilp
+    )
+    result = simulator.run(trace)
+    print(
+        f"gshare.fast on {BENCHMARK}: IPC {result.ipc:.3f} over {result.cycles} cycles "
+        f"({result.mispredictions} mispredictions)"
+    )
+    print(f"stall breakdown: {result.stalls}")
+
+
+if __name__ == "__main__":
+    main()

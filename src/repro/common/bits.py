@@ -1,0 +1,84 @@
+"""Small bit-manipulation helpers shared by predictors and the simulator.
+
+Branch predictors are fundamentally bit machines: indices are formed by
+masking, XORing and folding PC and history bits.  Centralizing the helpers
+keeps each predictor's indexing function short and auditable against its
+paper description.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ConfigurationError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def mask(width: int) -> int:
+    """Return a bitmask of ``width`` low bits (``mask(3) == 0b111``)."""
+    if width < 0:
+        raise ConfigurationError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def fold(value: int, in_width: int, out_width: int) -> int:
+    """XOR-fold the low ``in_width`` bits of ``value`` down to ``out_width`` bits.
+
+    Folding is the standard hardware trick for hashing a wide field into a
+    narrow index with a few XOR gates: the input is sliced into
+    ``out_width``-bit chunks which are XORed together.  ``fold(x, w, w)`` is
+    the identity on the low ``w`` bits.
+    """
+    if out_width <= 0:
+        if out_width == 0:
+            return 0
+        raise ConfigurationError(f"fold out_width must be >= 0, got {out_width}")
+    value &= mask(in_width)
+    folded = 0
+    while value:
+        folded ^= value & mask(out_width)
+        value >>= out_width
+    return folded
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Used by the skewing functions of gskew-style predictors.
+    """
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``value`` left by ``amount``."""
+    if width <= 0:
+        raise ConfigurationError(f"rotate width must be positive, got {width}")
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def hash_pc(pc: int, width: int) -> int:
+    """Hash a program counter into ``width`` bits.
+
+    Instruction addresses are 4-byte aligned in our traces, so the two low
+    bits carry no information; they are discarded before folding.
+    """
+    return fold(pc >> 2, 32, width)

@@ -1,0 +1,112 @@
+"""Saturating-counter tables.
+
+The pattern history tables of every two-level predictor in the paper are
+arrays of 2-bit saturating counters; choosers and some components use other
+widths.  ``CounterTable`` wraps a numpy array with the increment/decrement
+semantics and exposes both scalar and whole-table operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bits import is_power_of_two
+from repro.common.errors import ConfigurationError
+
+
+class CounterTable:
+    """A table of ``size`` unsigned saturating counters of ``bits`` width.
+
+    Counters saturate at ``[0, 2**bits - 1]``.  The taken/not-taken decision
+    threshold is the weakly-taken boundary: a counter predicts taken when its
+    value is in the upper half of the range.
+    """
+
+    def __init__(self, size: int, bits: int = 2, init: int | None = None) -> None:
+        if not is_power_of_two(size):
+            raise ConfigurationError(f"counter table size must be a power of two, got {size}")
+        if bits < 1 or bits > 8:
+            raise ConfigurationError(f"counter width must be in [1, 8] bits, got {bits}")
+        self.size = size
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        if init is None:
+            # Weakly-not-taken initialization: the highest value that still
+            # predicts not-taken, so a single taken outcome flips the entry.
+            init = self.threshold - 1
+        if not 0 <= init <= self.max_value:
+            raise ConfigurationError(
+                f"initial counter value {init} out of range for {bits}-bit counter"
+            )
+        self._values = np.full(size, init, dtype=np.int16)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware storage consumed by the table, in bits."""
+        return self.size * self.bits
+
+    def value(self, index: int) -> int:
+        """Raw counter value at ``index``."""
+        return int(self._values[index])
+
+    def predict(self, index: int) -> bool:
+        """Direction prediction: True (taken) when in the upper half."""
+        return bool(self._values[index] >= self.threshold)
+
+    def confidence(self, index: int) -> int:
+        """Distance from the decision boundary (0 = weakest)."""
+        value = int(self._values[index])
+        if value >= self.threshold:
+            return value - self.threshold
+        return self.threshold - 1 - value
+
+    def update(self, index: int, taken: bool) -> None:
+        """Saturating increment (taken) or decrement (not taken)."""
+        value = self._values[index]
+        if taken:
+            if value < self.max_value:
+                self._values[index] = value + 1
+        elif value > 0:
+            self._values[index] = value - 1
+
+    def strengthen(self, index: int, direction: bool) -> None:
+        """Alias of :meth:`update` that reads better at call sites that
+        reinforce an agreeing counter rather than train toward an outcome."""
+        self.update(index, direction)
+
+    def set_value(self, index: int, value: int) -> None:
+        """Force a counter to ``value`` (used by tests and recovery paths)."""
+        if not 0 <= value <= self.max_value:
+            raise ConfigurationError(f"counter value {value} out of range")
+        self._values[index] = value
+
+    def read_line(self, line_index: int, line_entries: int) -> np.ndarray:
+        """Return a copy of one aligned line of ``line_entries`` counters.
+
+        Models a wide SRAM read: gshare.fast fetches a whole line of
+        candidate counters per access.
+        """
+        if not is_power_of_two(line_entries):
+            raise ConfigurationError(
+                f"line_entries must be a power of two, got {line_entries}"
+            )
+        start = line_index * line_entries
+        if start < 0 or start + line_entries > self.size:
+            raise ConfigurationError(
+                f"line {line_index} x {line_entries} out of range for table of {self.size}"
+            )
+        return self._values[start : start + line_entries].copy()
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full table contents (tests/checkpointing)."""
+        return self._values.copy()
+
+    def restore(self, values: np.ndarray) -> None:
+        """Restore a snapshot taken by :meth:`snapshot`."""
+        if values.shape != self._values.shape:
+            raise ConfigurationError("snapshot shape mismatch")
+        self._values[:] = values

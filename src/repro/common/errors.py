@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch configuration and usage mistakes without also swallowing genuine bugs
+(``ValueError``/``TypeError`` raised by third-party code, for instance).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or impossible parameters."""
+
+
+class BudgetError(ConfigurationError):
+    """A hardware budget cannot be realized by the requested predictor."""
+
+
+class ProtocolError(ReproError):
+    """A predictor or simulator API was driven out of order.
+
+    Example: calling ``update`` for a branch that was never predicted, or
+    resolving the same in-flight branch twice.
+    """
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or internally inconsistent."""

@@ -1,0 +1,33 @@
+"""The paper's contribution: gshare.fast, its pipeline, and the delay-hiding
+schemes it is compared against."""
+
+from repro.core.bimode_fast import BiModeFastPredictor, build_bimode_fast
+from repro.core.cascading import CascadingPredictor, CascadingStats
+from repro.core.delayed_update import DelayedUpdateQueue
+from repro.core.dualpath import DualPathPolicy
+from repro.core.gshare_fast import (
+    GshareFastPredictor,
+    build_gshare_fast,
+    default_buffer_bits,
+    multi_branch_buffer_entries,
+)
+from repro.core.overriding import OverridingOutcome, OverridingPredictor, OverridingStats
+from repro.core.pipeline_model import GshareFastPipeline, PipelinePrediction
+
+__all__ = [
+    "BiModeFastPredictor",
+    "CascadingPredictor",
+    "CascadingStats",
+    "DelayedUpdateQueue",
+    "DualPathPolicy",
+    "GshareFastPipeline",
+    "GshareFastPredictor",
+    "OverridingOutcome",
+    "OverridingPredictor",
+    "OverridingStats",
+    "PipelinePrediction",
+    "build_bimode_fast",
+    "build_gshare_fast",
+    "default_buffer_bits",
+    "multi_branch_buffer_entries",
+]

@@ -1,0 +1,104 @@
+"""Cascading (lookahead) prediction — the other delay-hiding family.
+
+Section 2.6 of the paper cites cascading [Driesen & Hölzle] and lookahead
+[Yeh, Marr & Patt] as the alternatives to overriding that Jiménez et al.
+(MICRO-33) found inferior.  The idea: as soon as one branch is predicted,
+the slow predictor starts computing the prediction for the *next* branch.
+If the next branch arrives after the slow predictor finishes (the fetch gap
+is at least the slow latency), its accurate prediction is used for free;
+if the branch arrives sooner, the front end falls back to the quick
+predictor — no squash, no override bubble, but the slow predictor's
+accuracy is only available when branches are far enough apart.
+
+``CascadingPredictor`` models exactly that tradeoff: the caller reports the
+fetch gap (cycles since the previous branch's prediction) and the
+prediction comes from the slow component only when the gap covers its
+latency.  The Section 2.6 conclusion reproduces naturally: on branch-dense
+code the quick predictor decides most branches, so cascading underperforms
+overriding, which always gets the accurate answer (at bubble cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.timing.latency import QUICK_PREDICTOR_ENTRIES
+
+
+@dataclass
+class CascadingStats:
+    """Bookkeeping for the cascading scheme."""
+
+    predictions: int = 0
+    slow_used: int = 0
+    mispredictions: int = 0
+
+    @property
+    def slow_usage_rate(self) -> float:
+        """Fraction of branches whose gap let the slow predictor answer."""
+        if self.predictions == 0:
+            return 0.0
+        return self.slow_used / self.predictions
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Misprediction rate of the predictions actually used."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class CascadingPredictor:
+    """Quick + slow pair arbitrated by inter-branch fetch distance."""
+
+    def __init__(
+        self,
+        slow: BranchPredictor,
+        slow_latency: int,
+        quick: BranchPredictor | None = None,
+    ) -> None:
+        if slow_latency < 1:
+            raise ConfigurationError(f"slow latency must be >= 1 cycle, got {slow_latency}")
+        if quick is None:
+            quick = GsharePredictor(entries=QUICK_PREDICTOR_ENTRIES)
+        self.quick = quick
+        self.slow = slow
+        self.slow_latency = slow_latency
+        self.stats = CascadingStats()
+        self._used_slow = False
+
+    @property
+    def name(self) -> str:
+        """Display label naming both components."""
+        return f"cascade({self.quick.name}->{self.slow.name})"
+
+    @property
+    def storage_bits(self) -> int:
+        """Combined hardware state of both components, in bits."""
+        return self.quick.storage_bits + self.slow.storage_bits
+
+    def predict(self, pc: int, gap_cycles: int) -> bool:
+        """Predict the branch at ``pc`` fetched ``gap_cycles`` after the
+        previous branch.  Both components always compute (and train), but
+        the slow answer is usable only when the gap covers its latency."""
+        if gap_cycles < 0:
+            raise ConfigurationError(f"gap must be >= 0 cycles, got {gap_cycles}")
+        quick_taken = self.quick.predict(pc)
+        slow_taken = self.slow.predict(pc)
+        self._used_slow = gap_cycles >= self.slow_latency
+        return slow_taken if self._used_slow else quick_taken
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Resolve both components; True when the used prediction was right."""
+        quick_correct = self.quick.update(pc, taken)
+        slow_correct = self.slow.update(pc, taken)
+        correct = slow_correct if self._used_slow else quick_correct
+        self.stats.predictions += 1
+        if self._used_slow:
+            self.stats.slow_used += 1
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct

@@ -1,0 +1,56 @@
+"""Dual-path fetch (Section 2.6.2) — the AMD Hammer-style alternative.
+
+While a slow predictor's answer is in flight, the front end fetches down
+*both* possible paths.  No squash is needed when the prediction arrives
+(the wrong path is simply dropped), but fetch bandwidth and execution
+resources are halved for the predictor's whole latency, and the scheme does
+not scale to multiple unresolved branches — the paper's reason to dismiss
+it.
+
+The cycle simulator consumes :class:`DualPathPolicy` as the delay-hiding
+policy: each predicted branch costs ``latency`` cycles of half-bandwidth
+fetch instead of an override bubble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+
+
+@dataclass
+class DualPathPolicy:
+    """Delay-hiding by dual-path fetch around a single slow predictor.
+
+    ``predictor`` supplies directions; every conditional branch opens a
+    window of ``latency`` cycles during which effective fetch width is
+    halved.  A second branch arriving inside an open window cannot fork
+    again (four paths are not supported): fetch *stalls* until the first
+    window closes — the non-scalability the paper calls out.
+    """
+
+    predictor: BranchPredictor
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ConfigurationError(f"latency must be >= 1 cycle, got {self.latency}")
+
+    @property
+    def name(self) -> str:
+        """Display label naming the wrapped predictor."""
+        return f"dualpath({self.predictor.name})"
+
+    def predict(self, pc: int) -> bool:
+        """Direction from the wrapped predictor."""
+        return self.predictor.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Resolve the wrapped predictor; True when it was correct."""
+        return self.predictor.update(pc, taken)
+
+    def half_bandwidth_window(self) -> int:
+        """Cycles of halved fetch bandwidth per predicted branch."""
+        return self.latency

@@ -1,0 +1,243 @@
+"""Cycle-accurate model of the gshare.fast predictor pipeline (Figure 4).
+
+Where :class:`repro.core.gshare_fast.GshareFastPredictor` is the functional
+model (exact predictions, no clock), this module simulates the predictor
+*pipeline itself*, cycle by cycle:
+
+* ``L`` PHT-read stages, each carrying the paper's **Branch Present** and
+  **New History Bit** latches;
+* one select/predict stage that forms the low index bits in a single cycle
+  from the lower 9 PC bits and the newest (in-flight) history bits;
+* a line fetch launched every cycle, addressed by the speculative global
+  history *as of that cycle* — the line address is a pure function of bits
+  that already exist at launch, never of the bits generated while the read
+  is in flight (those are exactly the bits the stage latches carry to the
+  select stage);
+* **speculative** history update at predict time (the predicted direction is
+  shifted in immediately) with checkpoint-based recovery when the prediction
+  turns out wrong (Section 3.2): ``resolve`` restores the pre-branch
+  speculative state and shifts in the true outcome — the zero-penalty
+  recovery that the per-stage checkpointed PHT buffers provide in hardware.
+
+Index composition (shared with the functional model):
+
+    high (n-b bits) = launch_history >> max(b - L, 0)   # known at launch
+    low  (b bits)   = fold9(pc) ^ (current_history & mask(b))  # select stage
+
+On a dense stream — one branch every cycle, the steady state the paper's
+fetch engine sustains — exactly ``L`` new bits arrive during each read's
+flight, and this index is bit-identical to the functional model's
+``(H >> max(L, b)) << b | fold9(pc) ^ H[0:b]``; the equivalence is proved in
+the test suite.  On sparse streams the pipelined line address is *fresher*
+than the functional model assumes (fewer in-flight bits), so the functional
+model is the conservative end of the implementable design.
+
+The model counts buffer coverage: a prediction is a *buffer hit* when the
+line needed by the select stage is the one the pipeline prefetched.  After
+warm-up, dense streams hit on every prediction — the executable form of the
+paper's claim that the predictor always answers in a single cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import fold, mask
+from repro.common.errors import ProtocolError
+from repro.core.gshare_fast import PC_SELECT_BITS, GshareFastPredictor
+
+
+@dataclass
+class _StageLatches:
+    """Per-stage Branch Present / New History Bit latches."""
+
+    branch_present: bool = False
+    new_history_bit: bool = False
+
+
+@dataclass
+class _InFlightRead:
+    """A PHT line fetch travelling through the read stages."""
+
+    line_address: int
+    launch_history: int
+    ready_cycle: int
+
+
+@dataclass
+class _Checkpoint:
+    """Recovery state captured at each prediction (Section 3.2)."""
+
+    spec_history: int
+    latches: list[_StageLatches]
+
+
+@dataclass
+class PipelinePrediction:
+    """A prediction delivered by the pipeline, with its recovery token."""
+
+    taken: bool
+    cycle: int
+    checkpoint: _Checkpoint
+    pht_index: int
+    buffer_hit: bool
+
+
+class GshareFastPipeline:
+    """Drives a :class:`GshareFastPredictor`'s PHT cycle by cycle.
+
+    The PHT storage is shared with the functional predictor instance so the
+    equivalence test can compare the two on identical table contents.
+    """
+
+    def __init__(self, functional: GshareFastPredictor) -> None:
+        self.functional = functional
+        self.latency = functional.pht_latency
+        self.buffer_bits = functional.buffer_bits
+        self.index_bits = functional.index_bits
+        self.table = functional.table
+        self.cycle = 0
+        self._spec_history = 0
+        self._history_mask = mask(functional.history.length)
+        # Read-stage latches, oldest first: index 0 exits the pipeline next.
+        self._stages = [_StageLatches() for _ in range(self.latency)]
+        self._reads: list[_InFlightRead] = []
+        self._current_line: _InFlightRead | None = None
+        self._unresolved: PipelinePrediction | None = None
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+
+    # -- internal views ------------------------------------------------------
+
+    @property
+    def spec_history(self) -> int:
+        """Full speculative global history (newest bit in position 0)."""
+        return self._spec_history
+
+    @property
+    def in_flight_bits(self) -> int:
+        """Speculative bits generated while the current line was in flight."""
+        return sum(1 for stage in self._stages if stage.branch_present)
+
+    def _line_address(self, history: int) -> int:
+        """Line address for a fetch launched under ``history``.
+
+        Depends only on bits that exist at launch time.  When the buffer
+        covers more index bits than the read latency (b > L), the newest
+        ``b - L`` launch-time bits are excluded as well, because the select
+        stage will supply the low ``b`` bits from its own view of history.
+        """
+        drop = max(self.buffer_bits - self.latency, 0)
+        return (history >> drop) & mask(self.index_bits - self.buffer_bits)
+
+    # -- cycle protocol ------------------------------------------------------
+
+    def tick(self, branch_pc: int | None = None) -> PipelinePrediction | None:
+        """Advance one cycle; if ``branch_pc`` is given, predict that branch.
+
+        Returns the prediction, delivered this very cycle (single-cycle
+        delivery), or None on a branch-free cycle.  The caller must
+        ``resolve`` each prediction before the next tick — the trace-driven
+        in-order regime under which the paper's optimistic speculative-
+        update assumption holds.
+        """
+        if self._unresolved is not None:
+            raise ProtocolError("previous prediction has not been resolved")
+        self.cycle += 1
+
+        # 1. Retire the read completing this cycle into the PHT buffer.
+        while self._reads and self._reads[0].ready_cycle <= self.cycle:
+            self._current_line = self._reads.pop(0)
+
+        # 2. Shift the latch pipeline one stage older; the oldest bit has
+        #    now been in flight longer than any outstanding read and folds
+        #    back into plain history (it is already part of _spec_history).
+        for i in range(len(self._stages) - 1):
+            self._stages[i] = self._stages[i + 1]
+        self._stages[-1] = _StageLatches()
+
+        # 3. Launch this cycle's line fetch with the current speculative
+        #    history (all bits generated before this cycle).
+        self._reads.append(
+            _InFlightRead(
+                line_address=self._line_address(self._spec_history),
+                launch_history=self._spec_history,
+                ready_cycle=self.cycle + self.latency,
+            )
+        )
+
+        # 4. Select stage: predict the branch fetched this cycle, if any.
+        if branch_pc is None:
+            return None
+        prediction = self._predict(branch_pc)
+        self._unresolved = prediction
+        return prediction
+
+    def _predict(self, pc: int) -> PipelinePrediction:
+        checkpoint = _Checkpoint(
+            spec_history=self._spec_history,
+            latches=[_StageLatches(s.branch_present, s.new_history_bit) for s in self._stages],
+        )
+        line = self._current_line
+        if line is None:
+            # Warm-up: no line has completed yet.  The history a line
+            # launched in time would have used is the speculative history
+            # minus the bits still in the stage latches; modelling the miss
+            # this way keeps warm-up predictions identical to the
+            # functional model.
+            launch_history = self._spec_history >> self.in_flight_bits
+            hit = False
+        else:
+            launch_history = line.launch_history
+            hit = True
+        high = self._line_address(launch_history)
+        pc_bits = fold((pc >> 2) & mask(PC_SELECT_BITS), PC_SELECT_BITS, self.buffer_bits)
+        low = (pc_bits ^ self._spec_history) & mask(self.buffer_bits)
+        index = (high << self.buffer_bits) | low
+        if hit:
+            self.buffer_hits += 1
+        else:
+            self.buffer_misses += 1
+        taken = self.table.predict(index)
+        # Speculative history update: shift the *predicted* direction into
+        # the newest stage latch and the speculative history register.
+        self._stages[-1] = _StageLatches(branch_present=True, new_history_bit=taken)
+        self._spec_history = ((self._spec_history << 1) | int(taken)) & self._history_mask
+        return PipelinePrediction(
+            taken=taken, cycle=self.cycle, checkpoint=checkpoint, pht_index=index, buffer_hit=hit
+        )
+
+    def resolve(self, prediction: PipelinePrediction, taken: bool) -> bool:
+        """Resolve a prediction with the true outcome.
+
+        Correct predictions leave the speculative state alone.  A
+        misprediction triggers the Section 3.2 recovery: latch state and
+        speculative history are restored from the checkpoint and the *true*
+        outcome is shifted in — zero added pipeline-visible latency, because
+        the checkpointed PHT buffers supply the counters the refilled
+        pipeline needs.  Returns True when the prediction was correct.
+        """
+        if self._unresolved is not prediction:
+            raise ProtocolError("resolve does not match the outstanding prediction")
+        self._unresolved = None
+        correct = prediction.taken == taken
+        if not correct:
+            self._stages = [
+                _StageLatches(s.branch_present, s.new_history_bit)
+                for s in prediction.checkpoint.latches
+            ]
+            self._stages[-1] = _StageLatches(branch_present=True, new_history_bit=taken)
+            self._spec_history = (
+                (prediction.checkpoint.spec_history << 1) | int(taken)
+            ) & self._history_mask
+        self.table.update(prediction.pht_index, taken)
+        return correct
+
+    def delivered_latency_cycles(self) -> int:
+        """The pipeline's prediction-delivery latency: always one cycle.
+
+        Present as an executable statement of the paper's headline property:
+        the select stage both receives the branch PC and emits the
+        prediction within a single ``tick``.
+        """
+        return 1

@@ -1,0 +1,39 @@
+"""Experiment harness: measurements, sweeps, aggregation, figure regeneration."""
+
+from repro.harness.aggregate import arithmetic_mean, geometric_mean, harmonic_mean
+from repro.harness.analysis import (
+    compare_predictors,
+    history_context_profile,
+    per_site_accuracy,
+)
+from repro.harness.experiment import (
+    AccuracyResult,
+    OverrideResult,
+    measure_accuracy,
+    measure_override,
+)
+from repro.harness.scale import (
+    accuracy_instructions,
+    benchmark_names,
+    ipc_instructions,
+    scale_factor,
+    warmup_branches,
+)
+
+__all__ = [
+    "AccuracyResult",
+    "OverrideResult",
+    "accuracy_instructions",
+    "arithmetic_mean",
+    "benchmark_names",
+    "compare_predictors",
+    "geometric_mean",
+    "harmonic_mean",
+    "history_context_profile",
+    "ipc_instructions",
+    "measure_accuracy",
+    "measure_override",
+    "per_site_accuracy",
+    "scale_factor",
+    "warmup_branches",
+]

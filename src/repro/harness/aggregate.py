@@ -1,0 +1,39 @@
+"""Aggregation helpers matching the paper's reporting conventions.
+
+The paper reports *arithmetic* mean misprediction rates (Figures 1, 5, 6)
+and *harmonic* mean IPCs (Figures 2, 7, 8) over the twelve benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average (the paper's misprediction-rate aggregate)."""
+    if not values:
+        raise ConfigurationError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (the paper's IPC aggregate); requires positives."""
+    if not values:
+        raise ConfigurationError("cannot average an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ConfigurationError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / value for value in values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; requires positive values."""
+    if not values:
+        raise ConfigurationError("cannot average an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ConfigurationError("geometric mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

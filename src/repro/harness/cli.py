@@ -1,0 +1,119 @@
+"""``repro-figures`` — regenerate any of the paper's tables/figures.
+
+Usage::
+
+    repro-figures table2
+    repro-figures figure1 figure5
+    repro-figures all            # everything (slow at large REPRO_SCALE)
+
+Scale with ``REPRO_SCALE`` (trace length multiplier) and
+``REPRO_BENCHMARKS`` (subset of benchmark names).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def run_figure1() -> None:
+    """Print Figure 1 (accuracy vs budget)."""
+    _print(figures.figure1().render())
+
+
+def run_figure2() -> None:
+    """Print Figure 2 (ideal vs overriding IPC)."""
+    _print(figures.figure2().render())
+
+
+def run_table1() -> None:
+    """Print Table 1 (machine parameters)."""
+    _print(figures.table1())
+
+
+def run_table2() -> None:
+    """Print Table 2 (predictor latencies)."""
+    _print(figures.table2())
+
+
+def run_figure5() -> None:
+    """Print Figure 5 (large-budget accuracy)."""
+    _print(figures.figure5().render())
+
+
+def run_figure6() -> None:
+    """Print Figure 6 (per-benchmark accuracy)."""
+    _print(figures.figure6().render())
+
+
+def run_figure7() -> None:
+    """Print Figure 7 (both IPC panels)."""
+    left, right = figures.figure7()
+    _print(left.render())
+    _print(right.render())
+
+
+def run_figure8() -> None:
+    """Print Figure 8 (per-benchmark IPC)."""
+    _print(figures.figure8().render())
+
+
+def run_delayed_update() -> None:
+    """Print the Section 3.2 delayed-update study."""
+    _print(figures.delayed_update_study().render())
+
+
+def run_override() -> None:
+    """Print the Section 4.5 override-rate study."""
+    _print(figures.override_disagreement("perceptron").render())
+    _print(figures.override_disagreement("multicomponent").render())
+
+
+def run_extension() -> None:
+    """Print the pipelined-families extension study."""
+    _print(figures.extension_pipelined_families().render())
+
+
+RUNNERS = {
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "table1": run_table1,
+    "table2": run_table2,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+    "delayed-update": run_delayed_update,
+    "override": run_override,
+    "extension": run_extension,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: regenerate the requested figures/tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate tables/figures from 'Reconsidering Complex Branch Predictors'",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        choices=[*RUNNERS, "all"],
+        help="which figures/tables to regenerate",
+    )
+    args = parser.parse_args(argv)
+    targets = list(RUNNERS) if "all" in args.targets else args.targets
+    for target in targets:
+        RUNNERS[target]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Experiment primitives: run predictors over traces, collect metrics.
+
+Two measurement modes mirror the paper's methodology:
+
+* :func:`measure_accuracy` — pure direction-prediction accuracy of any
+  :class:`BranchPredictor` on a trace's conditional-branch stream (the
+  Figure 1/5/6 measurements);
+* :func:`measure_override` — an :class:`OverridingPredictor` pair on the
+  same stream, additionally collecting the override (disagreement) rate the
+  paper analyzes in Section 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.overriding import OverridingPredictor
+from repro.predictors.base import BranchPredictor
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Accuracy of one predictor on one trace."""
+
+    predictor: str
+    trace: str
+    branches: int
+    mispredictions: int
+    storage_bytes: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of scored branches predicted wrongly."""
+        if self.branches == 0:
+            return 0.0
+        return self.mispredictions / self.branches
+
+    @property
+    def misprediction_percent(self) -> float:
+        """Misprediction rate as a percentage (figure units)."""
+        return 100.0 * self.misprediction_rate
+
+
+@dataclass(frozen=True)
+class OverrideResult:
+    """Accuracy and override behaviour of a quick/slow pair on one trace."""
+
+    predictor: str
+    trace: str
+    branches: int
+    final_mispredictions: int
+    quick_mispredictions: int
+    overrides: int
+    storage_bytes: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Final (slow-predictor) misprediction rate."""
+        if self.branches == 0:
+            return 0.0
+        return self.final_mispredictions / self.branches
+
+    @property
+    def override_rate(self) -> float:
+        """Fraction of branches where the slow predictor overrode the quick
+        one — each of these pays the override bubble."""
+        if self.branches == 0:
+            return 0.0
+        return self.overrides / self.branches
+
+
+def measure_accuracy(
+    predictor: BranchPredictor, trace: Trace, warmup_branches: int = 0
+) -> AccuracyResult:
+    """Drive ``predictor`` over every conditional branch of ``trace``.
+
+    ``warmup_branches`` branches at the head of the trace train the
+    predictor without being scored (the paper skips initialization phases;
+    our traces are steady-state, so the default is no warmup).
+    """
+    branches = 0
+    mispredictions = 0
+    for position, (pc, taken) in enumerate(trace.conditional_branches()):
+        predictor.predict(pc)
+        correct = predictor.update(pc, taken)
+        if position < warmup_branches:
+            continue
+        branches += 1
+        if not correct:
+            mispredictions += 1
+    return AccuracyResult(
+        predictor=predictor.name,
+        trace=trace.name,
+        branches=branches,
+        mispredictions=mispredictions,
+        storage_bytes=predictor.storage_bytes,
+    )
+
+
+def measure_override(
+    overriding: OverridingPredictor, trace: Trace, warmup_branches: int = 0
+) -> OverrideResult:
+    """Drive an overriding quick/slow pair over ``trace``'s branches."""
+    branches = 0
+    final_mispredictions = 0
+    quick_mispredictions = 0
+    overrides = 0
+    for position, (pc, taken) in enumerate(trace.conditional_branches()):
+        outcome = overriding.predict(pc)
+        overriding.update(pc, taken)
+        if position < warmup_branches:
+            continue
+        branches += 1
+        if outcome.final_taken != taken:
+            final_mispredictions += 1
+        if outcome.quick_taken != taken:
+            quick_mispredictions += 1
+        if outcome.overridden:
+            overrides += 1
+    return OverrideResult(
+        predictor=overriding.name,
+        trace=trace.name,
+        branches=branches,
+        final_mispredictions=final_mispredictions,
+        quick_mispredictions=quick_mispredictions,
+        overrides=overrides,
+        storage_bytes=(overriding.storage_bits + 7) // 8,
+    )

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for figure/table regeneration.
+
+Every experiment prints the same rows/series the paper's figure plots, as
+aligned text tables (this repo regenerates *data*, not vector graphics).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_budget(budget_bytes: int) -> str:
+    """Human form of a hardware budget ('64K' style, matching the axes)."""
+    if budget_bytes % 1024 == 0:
+        return f"{budget_bytes // 1024}K"
+    return str(budget_bytes)
+
+
+def render_table(
+    title: str,
+    column_names: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(value) for value in row] for row in rows]
+    headers = [str(name) for name in column_names]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(value.rjust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[int],
+    series: dict[str, dict[int, float]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render one column per series, one row per x value (budget)."""
+    names = sorted(series)
+    rows = []
+    for x in x_values:
+        row: list[object] = [format_budget(x)]
+        for name in names:
+            value = series[name].get(x)
+            row.append(value_format.format(value) if value is not None else "-")
+        rows.append(row)
+    return render_table(title, [x_label, *names], rows)

@@ -1,0 +1,203 @@
+"""Budget-sweep building blocks used by the figure generators.
+
+A sweep runs one predictor configuration per (benchmark, budget) cell and
+aggregates across benchmarks per the paper's conventions.  Predictors are
+constructed fresh per cell (no state leaks across benchmarks), while traces
+are cached by the workload layer so the expensive part is paid once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.bimode_fast import build_bimode_fast
+from repro.core.gshare_fast import build_gshare_fast
+from repro.core.overriding import OverridingPredictor
+from repro.harness.aggregate import arithmetic_mean, harmonic_mean
+from repro.harness.experiment import measure_accuracy, measure_override
+from repro.harness.scale import (
+    accuracy_instructions,
+    benchmark_names,
+    ipc_instructions,
+    warmup_branches,
+)
+from repro.predictors.base import BranchPredictor
+from repro.predictors.factory import build_predictor
+from repro.timing.latency import predictor_latency
+from repro.uarch.config import PAPER_MACHINE, MachineConfig
+from repro.uarch.policies import FetchPolicy, OverridingPolicy, SingleCyclePolicy
+from repro.uarch.simulator import CycleSimulator, SimulationResult
+from repro.workloads.spec2000 import get_profile, spec2000_trace
+
+#: The paper's power-of-two budget ladder (bytes).
+FULL_BUDGETS = [2**k * 1024 for k in range(1, 10)]  # 2KB .. 512KB
+LARGE_BUDGETS = [2**k * 1024 for k in range(4, 10)]  # 16KB .. 512KB
+
+
+def build_family(family: str, budget_bytes: int) -> BranchPredictor:
+    """Construct any predictor family, including the pipelined single-cycle
+    families (gshare_fast, bimode_fast) that live in repro.core."""
+    if family == "gshare_fast":
+        return build_gshare_fast(budget_bytes)
+    if family == "bimode_fast":
+        return build_bimode_fast(budget_bytes)
+    return build_predictor(family, budget_bytes)
+
+
+@dataclass(frozen=True)
+class AccuracyCell:
+    """One (benchmark, family, budget) accuracy measurement."""
+
+    benchmark: str
+    family: str
+    budget_bytes: int
+    misprediction_percent: float
+
+
+def accuracy_sweep(
+    families: list[str],
+    budgets: list[int],
+    benchmarks: list[str] | None = None,
+    instructions: int | None = None,
+) -> list[AccuracyCell]:
+    """Misprediction rate for every (family, budget, benchmark) cell."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if instructions is None:
+        instructions = accuracy_instructions()
+    cells = []
+    for benchmark in benchmarks:
+        trace = spec2000_trace(benchmark, instructions=instructions)
+        warmup = warmup_branches(trace.conditional_branch_count)
+        for family in families:
+            for budget in budgets:
+                predictor = build_family(family, budget)
+                result = measure_accuracy(predictor, trace, warmup_branches=warmup)
+                cells.append(
+                    AccuracyCell(
+                        benchmark=benchmark,
+                        family=family,
+                        budget_bytes=budget,
+                        misprediction_percent=result.misprediction_percent,
+                    )
+                )
+    return cells
+
+
+def mean_by_family_budget(cells: list[AccuracyCell]) -> dict[tuple[str, int], float]:
+    """Arithmetic mean misprediction (%) per (family, budget)."""
+    groups: dict[tuple[str, int], list[float]] = {}
+    for cell in cells:
+        groups.setdefault((cell.family, cell.budget_bytes), []).append(
+            cell.misprediction_percent
+        )
+    return {key: arithmetic_mean(values) for key, values in groups.items()}
+
+
+# -- IPC sweeps ---------------------------------------------------------------
+
+
+def make_policy(family: str, budget_bytes: int, mode: str) -> FetchPolicy:
+    """Build the fetch policy for a family/budget under ``mode``.
+
+    Modes: ``ideal`` (zero-delay complex predictor — Figure 7 left),
+    ``overriding`` (quick 2K gshare + slow complex predictor — Figure 7
+    right).  ``gshare_fast`` is always single-cycle by construction and
+    accepts either mode.
+    """
+    predictor = build_family(family, budget_bytes)
+    if family in ("gshare_fast", "bimode_fast") or mode == "ideal":
+        return SingleCyclePolicy(predictor)
+    if mode == "overriding":
+        latency = predictor_latency(family, budget_bytes)
+        return OverridingPolicy(OverridingPredictor(predictor, slow_latency=latency))
+    raise ValueError(f"unknown policy mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class IpcCell:
+    """One (benchmark, family, mode, budget) cycle-simulation result."""
+
+    benchmark: str
+    family: str
+    mode: str
+    budget_bytes: int
+    ipc: float
+    misprediction_percent: float
+    override_rate: float
+
+
+def ipc_sweep(
+    families: list[str],
+    budgets: list[int],
+    mode: str,
+    benchmarks: list[str] | None = None,
+    instructions: int | None = None,
+    config: MachineConfig = PAPER_MACHINE,
+) -> list[IpcCell]:
+    """Cycle-simulated IPC for every (family, budget, benchmark) cell."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if instructions is None:
+        instructions = ipc_instructions()
+    cells = []
+    for benchmark in benchmarks:
+        trace = spec2000_trace(benchmark, instructions=instructions)
+        ilp = get_profile(benchmark).ilp
+        for family in families:
+            for budget in budgets:
+                policy = make_policy(family, budget, mode)
+                simulator = CycleSimulator(policy, config=config, ilp=ilp)
+                result: SimulationResult = simulator.run(trace)
+                override_rate = (
+                    result.overrides / result.conditional_branches
+                    if result.conditional_branches
+                    else 0.0
+                )
+                cells.append(
+                    IpcCell(
+                        benchmark=benchmark,
+                        family=family,
+                        mode=mode,
+                        budget_bytes=budget,
+                        ipc=result.ipc,
+                        misprediction_percent=100.0 * result.misprediction_rate,
+                        override_rate=override_rate,
+                    )
+                )
+    return cells
+
+
+def hmean_ipc_by_family_budget(cells: list[IpcCell]) -> dict[tuple[str, int], float]:
+    """Harmonic mean IPC per (family, budget)."""
+    groups: dict[tuple[str, int], list[float]] = {}
+    for cell in cells:
+        groups.setdefault((cell.family, cell.budget_bytes), []).append(cell.ipc)
+    return {key: harmonic_mean(values) for key, values in groups.items()}
+
+
+Builder = Callable[[str, int], BranchPredictor]
+
+
+def override_statistics(
+    family: str,
+    budget_bytes: int,
+    benchmarks: list[str] | None = None,
+    instructions: int | None = None,
+) -> dict[str, float]:
+    """Per-benchmark override (disagreement) rates for a quick/slow pair."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if instructions is None:
+        instructions = accuracy_instructions()
+    latency = predictor_latency(family, budget_bytes)
+    rates = {}
+    for benchmark in benchmarks:
+        trace = spec2000_trace(benchmark, instructions=instructions)
+        overriding = OverridingPredictor(
+            build_family(family, budget_bytes), slow_latency=latency
+        )
+        result = measure_override(overriding, trace)
+        rates[benchmark] = result.override_rate
+    return rates

@@ -1,0 +1,39 @@
+"""Bimodal predictor (Smith): a PC-indexed table of 2-bit counters.
+
+The simplest dynamic predictor; used standalone as a baseline, as the BIM
+component of 2Bc-gskew, and as the bias component of the multi-component
+hybrid.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import log2_exact
+from repro.common.counters import CounterTable
+from repro.predictors.base import BranchPredictor
+
+
+class BimodalPredictor(BranchPredictor):
+    """``entries`` 2-bit counters indexed by low PC bits."""
+
+    name = "bimodal"
+
+    def __init__(self, entries: int, counter_bits: int = 2) -> None:
+        super().__init__()
+        self.index_bits = log2_exact(entries)
+        self.table = CounterTable(entries, bits=counter_bits)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware state consumed by the predictor, in bits."""
+        return self.table.storage_bits
+
+    def index(self, pc: int) -> int:
+        """Table index for the branch at ``pc``."""
+        return (pc >> 2) & (self.table.size - 1)
+
+    def _predict(self, pc: int) -> tuple[bool, object]:
+        index = self.index(pc)
+        return self.table.predict(index), index
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: object) -> None:
+        self.table.update(context, taken)

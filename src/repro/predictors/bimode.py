@@ -1,0 +1,81 @@
+"""Bi-Mode predictor (Lee, Chen & Mudge, MICRO-30).
+
+Destructive aliasing in a shared PHT mostly happens when a taken-biased and a
+not-taken-biased branch collide.  Bi-Mode splits the PHT into two *direction*
+tables — one trained mostly by taken-biased branches, one by not-taken-biased
+branches — both indexed gshare-style, plus a PC-indexed *choice* table that
+selects which direction table speaks for each branch.
+
+Update policy (as published):
+  * the choice table is updated with the outcome, except when it pointed at a
+    direction table that predicted correctly while the outcome disagreed with
+    the choice (the "partial update" that preserves the bias separation);
+  * only the *selected* direction table is updated.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import hash_pc, log2_exact, mask
+from repro.common.counters import CounterTable
+from repro.common.history import HistoryRegister
+from repro.predictors.base import BranchPredictor
+
+
+class BiModePredictor(BranchPredictor):
+    """Two direction PHTs plus a choice PHT."""
+
+    name = "bimode"
+
+    def __init__(
+        self,
+        direction_entries: int,
+        choice_entries: int | None = None,
+        history_length: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.direction_index_bits = log2_exact(direction_entries)
+        if choice_entries is None:
+            choice_entries = direction_entries
+        self.choice_index_bits = log2_exact(choice_entries)
+        if history_length is None:
+            history_length = self.direction_index_bits
+        self.history = HistoryRegister(min(history_length, self.direction_index_bits))
+        self.taken_table = CounterTable(direction_entries, bits=2, init=2)
+        self.not_taken_table = CounterTable(direction_entries, bits=2, init=1)
+        self.choice_table = CounterTable(choice_entries, bits=2)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware state consumed by the predictor, in bits."""
+        return (
+            self.taken_table.storage_bits
+            + self.not_taken_table.storage_bits
+            + self.choice_table.storage_bits
+            + self.history.length
+        )
+
+    def _indices(self, pc: int) -> tuple[int, int]:
+        direction = (hash_pc(pc, self.direction_index_bits) ^ self.history.value) & mask(
+            self.direction_index_bits
+        )
+        choice = (pc >> 2) & (self.choice_table.size - 1)
+        return direction, choice
+
+    def _predict(self, pc: int) -> tuple[bool, object]:
+        direction_index, choice_index = self._indices(pc)
+        choose_taken_table = self.choice_table.predict(choice_index)
+        table = self.taken_table if choose_taken_table else self.not_taken_table
+        prediction = table.predict(direction_index)
+        return prediction, (direction_index, choice_index, choose_taken_table, prediction)
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: object) -> None:
+        direction_index, choice_index, choose_taken_table, prediction = context
+        # Partial update of the choice table: skip when the selected direction
+        # table was right but the outcome disagrees with the current choice.
+        selected_correct = prediction == taken
+        choice_agrees = choose_taken_table == taken
+        if not (selected_correct and not choice_agrees):
+            self.choice_table.update(choice_index, taken)
+        table = self.taken_table if choose_taken_table else self.not_taken_table
+        table.update(direction_index, taken)
+        self.history.push(taken)

@@ -1,0 +1,162 @@
+"""Predictor factory: (family name, hardware budget) -> configured predictor.
+
+This is the entry point the harness and the examples use; it owns the mapping
+from the paper's predictor names to our implementations and the budget-sizing
+rules in :mod:`repro.predictors.sizing`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.gskew import EGskewPredictor, TwoBcGskewPredictor
+from repro.predictors.local import LocalPredictor
+from repro.predictors.loop import LoopPredictor
+from repro.predictors.multicomponent import MultiComponentPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.sizing import (
+    floor_pow2,
+    size_2bcgskew,
+    size_bimode,
+    size_gshare,
+    size_multicomponent,
+    size_perceptron,
+    validate_budget,
+)
+from repro.predictors.tournament import TournamentPredictor
+
+
+def build_bimodal(budget_bytes: int) -> BimodalPredictor:
+    """Bimodal sized to fill ``budget_bytes`` with 2-bit counters."""
+    validate_budget(budget_bytes)
+    return BimodalPredictor(entries=floor_pow2(budget_bytes * 4))
+
+
+def build_gshare(budget_bytes: int) -> GsharePredictor:
+    """gshare sized per :func:`repro.predictors.sizing.size_gshare`."""
+    validate_budget(budget_bytes)
+    config = size_gshare(budget_bytes)
+    return GsharePredictor(entries=config.entries, history_length=config.history_length)
+
+
+def build_bimode(budget_bytes: int) -> BiModePredictor:
+    """Bi-Mode sized per :func:`repro.predictors.sizing.size_bimode`."""
+    validate_budget(budget_bytes)
+    config = size_bimode(budget_bytes)
+    return BiModePredictor(
+        direction_entries=config.direction_entries,
+        choice_entries=config.choice_entries,
+        history_length=config.history_length,
+    )
+
+
+def build_2bcgskew(budget_bytes: int) -> TwoBcGskewPredictor:
+    """2Bc-gskew sized per :func:`repro.predictors.sizing.size_2bcgskew`."""
+    validate_budget(budget_bytes)
+    config = size_2bcgskew(budget_bytes)
+    return TwoBcGskewPredictor(
+        bank_entries=config.bank_entries,
+        short_history=config.short_history,
+        long_history=config.long_history,
+    )
+
+
+def build_egskew(budget_bytes: int) -> EGskewPredictor:
+    """e-gskew with three equal banks filling ``budget_bytes``."""
+    validate_budget(budget_bytes)
+    bank = floor_pow2(budget_bytes * 8 // 3 // 2)
+    return EGskewPredictor(bank_entries=bank)
+
+
+def build_perceptron(budget_bytes: int) -> PerceptronPredictor:
+    """Perceptron sized per :func:`repro.predictors.sizing.size_perceptron`."""
+    validate_budget(budget_bytes)
+    config = size_perceptron(budget_bytes)
+    return PerceptronPredictor(
+        num_perceptrons=config.num_perceptrons,
+        global_history=config.global_history,
+        local_history=config.local_history,
+        local_history_entries=config.local_history_entries,
+    )
+
+
+def build_multicomponent(budget_bytes: int) -> MultiComponentPredictor:
+    """Evers multi-hybrid sized per ``size_multicomponent``."""
+    validate_budget(budget_bytes)
+    config = size_multicomponent(budget_bytes)
+    # Order sets the tie-break priority of the selection counters: the
+    # fast-training bimodal wins cold ties, specialized components take over
+    # per branch as their counters rise.
+    components: list[BranchPredictor] = [
+        BimodalPredictor(entries=config.bimodal_entries),
+        LoopPredictor(entries=config.loop_entries),
+        LocalPredictor(
+            history_entries=config.local_histories,
+            history_length=config.local_history_length,
+            pht_entries=config.local_pht_entries,
+        ),
+        GsharePredictor(
+            entries=config.gshare_short_entries, history_length=config.gshare_short_history
+        ),
+        GsharePredictor(
+            entries=config.gshare_long_entries, history_length=config.gshare_long_history
+        ),
+    ]
+    return MultiComponentPredictor(components, selector_entries=config.selector_entries)
+
+
+def build_tournament(budget_bytes: int) -> TournamentPredictor:
+    """EV6-style tournament scaled to ``budget_bytes``."""
+    validate_budget(budget_bytes)
+    # EV6 proportions scaled to the budget: global/chooser tables equal,
+    # local structures a quarter of their size.
+    global_entries = floor_pow2(budget_bytes * 8 // 2 // 2 // 2)
+    local = max(global_entries // 4, 64)
+    return TournamentPredictor(
+        global_entries=global_entries,
+        local_histories=local,
+        local_history_length=10,
+        local_pht_entries=local,
+        chooser_entries=global_entries,
+    )
+
+
+def build_loop(budget_bytes: int) -> LoopPredictor:
+    """Standalone loop predictor filling ``budget_bytes``."""
+    validate_budget(budget_bytes)
+    return LoopPredictor(entries=max(floor_pow2(budget_bytes * 8 // 31), 64))
+
+
+_BUILDERS: dict[str, Callable[[int], BranchPredictor]] = {
+    "bimodal": build_bimodal,
+    "gshare": build_gshare,
+    "bimode": build_bimode,
+    "2bcgskew": build_2bcgskew,
+    "egskew": build_egskew,
+    "perceptron": build_perceptron,
+    "multicomponent": build_multicomponent,
+    "tournament": build_tournament,
+    "loop": build_loop,
+}
+
+
+def predictor_families() -> list[str]:
+    """Names accepted by :func:`build_predictor` (gshare.fast lives in
+    :mod:`repro.core` and is built via :func:`repro.core.build_gshare_fast`)."""
+    return sorted(_BUILDERS)
+
+
+def build_predictor(family: str, budget_bytes: int) -> BranchPredictor:
+    """Build a predictor of ``family`` sized for ``budget_bytes`` of state."""
+    try:
+        builder = _BUILDERS[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown predictor family {family!r}; known: {', '.join(predictor_families())}"
+        ) from None
+    return builder(budget_bytes)

@@ -1,0 +1,52 @@
+"""gshare (McFarling): global history XOR PC indexing into a single PHT.
+
+The reference point for the paper: gshare.fast (in :mod:`repro.core`) is a
+pipelined reorganization of this predictor.  The history length defaults to
+the maximum — the base-2 log of the PHT entry count — matching the paper's
+gshare.fast configuration rule (Section 4.1.4).
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import hash_pc, log2_exact, mask
+from repro.common.counters import CounterTable
+from repro.common.errors import ConfigurationError
+from repro.common.history import HistoryRegister
+from repro.predictors.base import BranchPredictor
+
+
+class GsharePredictor(BranchPredictor):
+    """Classic gshare: ``index = fold(pc) XOR global_history``."""
+
+    name = "gshare"
+
+    def __init__(self, entries: int, history_length: int | None = None) -> None:
+        super().__init__()
+        self.index_bits = log2_exact(entries)
+        if history_length is None:
+            history_length = self.index_bits
+        if history_length > self.index_bits:
+            raise ConfigurationError(
+                f"gshare history length {history_length} exceeds index width "
+                f"{self.index_bits}"
+            )
+        self.history = HistoryRegister(history_length)
+        self.table = CounterTable(entries, bits=2)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware state consumed by the predictor, in bits."""
+        return self.table.storage_bits + self.history.length
+
+    def index(self, pc: int) -> int:
+        """PHT index: folded PC XOR global history."""
+        pc_bits = hash_pc(pc, self.index_bits)
+        return (pc_bits ^ self.history.value) & mask(self.index_bits)
+
+    def _predict(self, pc: int) -> tuple[bool, object]:
+        index = self.index(pc)
+        return self.table.predict(index), index
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: object) -> None:
+        self.table.update(context, taken)
+        self.history.push(taken)

@@ -1,0 +1,101 @@
+"""Loop predictor component.
+
+Predicts branches that behave as loop exits: taken (or not taken) a fixed
+number of consecutive times, then the opposite direction once.  Each entry
+tracks the observed trip count of the last completed loop and a confidence
+counter; once the same trip count repeats, the predictor can call the exit
+iteration exactly — something no counter-based PHT can do for trip counts
+longer than its history.
+
+Used as a component of the multi-component hybrid (Evers' multi-hybrid
+includes a loop predictor among its components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import is_power_of_two
+from repro.common.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+
+
+@dataclass
+class _LoopEntry:
+    tag: int = -1
+    trip_count: int = 0  # completed-loop iteration count (0 = unknown)
+    current_count: int = 0  # iterations seen in the loop in progress
+    confidence: int = 0  # consecutive confirmations of trip_count
+    direction: bool = True  # the "body" direction (exit is the opposite)
+
+
+class LoopPredictor(BranchPredictor):
+    """Tagged table of loop trip-count monitors.
+
+    ``confidence_threshold`` confirmations are required before the entry
+    overrides the fallback prediction (the body direction).
+    """
+
+    name = "loop"
+
+    #: storage per entry: tag(8) + trip(10) + current(10) + conf(2) + dir(1)
+    ENTRY_BITS = 31
+    MAX_TRIP = 1023
+
+    def __init__(self, entries: int, confidence_threshold: int = 2) -> None:
+        super().__init__()
+        if not is_power_of_two(entries):
+            raise ConfigurationError(f"loop predictor entries must be a power of two, got {entries}")
+        if confidence_threshold < 1:
+            raise ConfigurationError("confidence threshold must be >= 1")
+        self.entries = entries
+        self.confidence_threshold = confidence_threshold
+        self._table = [_LoopEntry() for _ in range(entries)]
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware state consumed by the predictor, in bits."""
+        return self.entries * self.ENTRY_BITS
+
+    def _entry(self, pc: int) -> tuple[_LoopEntry, int]:
+        index = (pc >> 2) & (self.entries - 1)
+        tag = (pc >> 2) >> index.bit_length() & 0xFF
+        return self._table[index], tag
+
+    def is_confident(self, pc: int) -> bool:
+        """True when the entry for ``pc`` has a confirmed trip count."""
+        entry, tag = self._entry(pc)
+        return entry.tag == tag and entry.confidence >= self.confidence_threshold
+
+    def _predict(self, pc: int) -> tuple[bool, object]:
+        entry, tag = self._entry(pc)
+        if entry.tag != tag:
+            return True, (entry, tag)  # cold: loop-back branches are mostly taken
+        confident = entry.confidence >= self.confidence_threshold
+        if confident and entry.trip_count and entry.current_count + 1 >= entry.trip_count:
+            prediction = not entry.direction  # exit iteration
+        else:
+            prediction = entry.direction
+        return prediction, (entry, tag)
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: object) -> None:
+        entry, tag = context
+        if entry.tag != tag:
+            # Allocate: assume taken is the body direction of a new loop.
+            entry.tag = tag
+            entry.direction = taken
+            entry.trip_count = 0
+            entry.current_count = 1
+            entry.confidence = 0
+            return
+        if taken == entry.direction:
+            entry.current_count = min(entry.current_count + 1, self.MAX_TRIP)
+            return
+        # Exit iteration: the loop just completed current_count body trips.
+        completed = entry.current_count + 1
+        if completed == entry.trip_count:
+            entry.confidence = min(entry.confidence + 1, 3)
+        else:
+            entry.trip_count = completed
+            entry.confidence = 0
+        entry.current_count = 0

@@ -1,0 +1,81 @@
+"""Static (non-learning) predictors.
+
+Baselines and building blocks: always-taken, always-not-taken, and
+backward-taken/forward-not-taken (BTFN — the classic static heuristic that
+exploits the compiler layout convention the paper leans on in Section
+3.3.3: loop back-edges point backward and are taken; forward conditionals
+are mostly not taken).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predicts taken for every branch (zero state)."""
+
+    name = "always_taken"
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware state consumed by the predictor, in bits."""
+        return 0
+
+    def _predict(self, pc: int) -> tuple[bool, object]:
+        return True, None
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: object) -> None:
+        pass
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Predicts not-taken for every branch (zero state)."""
+
+    name = "always_not_taken"
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware state consumed by the predictor, in bits."""
+        return 0
+
+    def _predict(self, pc: int) -> tuple[bool, object]:
+        return False, None
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: object) -> None:
+        pass
+
+
+class BtfnPredictor(BranchPredictor):
+    """Backward-taken / forward-not-taken.
+
+    Needs the branch target to classify direction, which the plain
+    direction-predictor interface does not carry; the trace-aware harness
+    calls :meth:`set_target` before each prediction, and an unknown target
+    defaults to the forward (not-taken) guess.
+    """
+
+    name = "btfn"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._target: int | None = None
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware state consumed by the predictor, in bits."""
+        return 0
+
+    def set_target(self, target: int) -> None:
+        """Provide the branch's target address for the next prediction."""
+        self._target = target
+
+    def _predict(self, pc: int) -> tuple[bool, object]:
+        if self._target is None:
+            return False, None
+        backward = self._target <= pc
+        self._target = None
+        return backward, None
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: object) -> None:
+        pass

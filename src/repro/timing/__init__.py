@@ -1,0 +1,24 @@
+"""Timing substrate: FO4 clock model, SRAM access-time surrogate, Table 2."""
+
+from repro.timing.fo4 import PAPER_CLOCK, ClockModel
+from repro.timing.latency import (
+    QUICK_PREDICTOR_CYCLES,
+    QUICK_PREDICTOR_ENTRIES,
+    LatencyRow,
+    predictor_latency,
+    table2,
+)
+from repro.timing.sram import SramArray, pht_array, table_access_cycles
+
+__all__ = [
+    "PAPER_CLOCK",
+    "ClockModel",
+    "LatencyRow",
+    "QUICK_PREDICTOR_CYCLES",
+    "QUICK_PREDICTOR_ENTRIES",
+    "SramArray",
+    "pht_array",
+    "predictor_latency",
+    "table2",
+    "table_access_cycles",
+]

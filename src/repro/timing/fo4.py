@@ -1,0 +1,61 @@
+"""Clock model in fan-out-of-four (FO4) inverter delays.
+
+The paper's timing frame (Section 4.1.2): an aggressive clock period of
+8 FO4 — 6 FO4 of useful logic plus 2 FO4 of latch overhead per Hrishikesh et
+al. — which at 100 nm corresponds to roughly 3.5 GHz.  All structure delays
+are expressed in FO4 and converted to cycles against this period.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: FO4 inverter delay rule of thumb: ~360 ps per micron of drawn gate length.
+PS_PER_FO4_PER_MICRON = 360.0
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """A clock defined by its period in FO4 delays at a process node."""
+
+    period_fo4: float = 8.0
+    process_nm: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.period_fo4 <= 0:
+            raise ConfigurationError(f"clock period must be positive, got {self.period_fo4}")
+        if self.process_nm <= 0:
+            raise ConfigurationError(f"process node must be positive, got {self.process_nm}")
+
+    @property
+    def fo4_ps(self) -> float:
+        """One FO4 delay in picoseconds at this node."""
+        return PS_PER_FO4_PER_MICRON * (self.process_nm / 1000.0)
+
+    @property
+    def period_ps(self) -> float:
+        """Clock period in picoseconds."""
+        return self.period_fo4 * self.fo4_ps
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Clock frequency in GHz."""
+        return 1000.0 / self.period_ps
+
+    def cycles_for_fo4(self, delay_fo4: float) -> int:
+        """Clock cycles needed to cover ``delay_fo4`` of logic (>= 1).
+
+        A small tolerance keeps structures calibrated to land exactly on a
+        cycle boundary from spilling into the next cycle through floating-
+        point noise.
+        """
+        if delay_fo4 < 0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay_fo4}")
+        return max(1, math.ceil(delay_fo4 / self.period_fo4 - 1e-6))
+
+
+#: The paper's clock: 8 FO4 at 100 nm, ~3.5 GHz.
+PAPER_CLOCK = ClockModel(period_fo4=8.0, process_nm=100.0)

@@ -1,0 +1,63 @@
+"""Machine configuration (Table 1 of the paper, plus model constants).
+
+The paper's simulated machine: 64KB direct-mapped L1 I/D (64-byte lines),
+2MB 4-way L2 (128-byte lines), 512-entry 2-way BTB, issue width 8,
+pipeline depth 20.  Constants the paper does not pin down (miss latencies,
+BTB-miss bubble, ROB size) are set to values conventional for the era and
+are exposed for ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of the simulated out-of-order machine."""
+
+    issue_width: int = 8
+    pipeline_depth: int = 20
+    #: caches (Table 1)
+    l1_size: int = 64 * 1024
+    l1_line: int = 64
+    l2_size: int = 2 * 1024 * 1024
+    l2_line: int = 128
+    l2_ways: int = 4
+    l2_hit_cycles: int = 12
+    memory_cycles: int = 200
+    #: branch target machinery (Table 1)
+    btb_entries: int = 512
+    btb_ways: int = 2
+    ras_depth: int = 16
+    btb_miss_penalty: int = 6
+    #: backend model
+    rob_size: int = 128
+    memory_level_parallelism: float = 4.0
+    #: multiple-branch prediction (Section 3.3.1 / EV8-style): how many
+    #: fetch blocks — and therefore how many branch predictions — the front
+    #: end can consume per cycle.  1 = the paper's base machine.
+    blocks_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigurationError("issue width must be >= 1")
+        if self.pipeline_depth < 8:
+            raise ConfigurationError("pipeline depth must be >= 8")
+        if self.memory_level_parallelism < 1.0:
+            raise ConfigurationError("MLP factor must be >= 1")
+        if self.blocks_per_cycle < 1:
+            raise ConfigurationError("blocks per cycle must be >= 1")
+
+    @property
+    def front_depth(self) -> int:
+        """Stages from fetch to execute; a mispredicted branch cannot
+        redirect fetch until it reaches execute, so this dominates the
+        misprediction penalty."""
+        return max(self.pipeline_depth - 6, 1)
+
+
+#: The paper's Table 1 machine.
+PAPER_MACHINE = MachineConfig()

@@ -1,0 +1,125 @@
+"""Fetch-engine branch-direction policies.
+
+The cycle simulator is agnostic to how directions are produced; a policy
+wraps a predictor (or predictor pair) and reports, per conditional branch,
+the final direction plus the front-end cost of obtaining it:
+
+* :class:`SingleCyclePolicy` — a predictor that answers in one cycle with
+  no extra cost.  Used for gshare.fast (which earns this by construction)
+  and for the *ideal* zero-delay versions of the complex predictors
+  (Figure 2 / Figure 7-left).
+* :class:`OverridingPolicy` — quick + slow pair; every disagreement costs
+  an override bubble equal to the slow predictor's latency (Figure 2 /
+  Figure 7-right).
+* :class:`DualPathPolicy` wrapper — no bubbles, but fetch runs at half
+  width while the slow prediction is in flight, and a second branch inside
+  the window stalls fetch (Section 2.6.2's scalability problem).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.cascading import CascadingPredictor
+from repro.core.dualpath import DualPathPolicy
+from repro.core.overriding import OverridingPredictor
+from repro.predictors.base import BranchPredictor
+
+
+@dataclass(frozen=True)
+class PolicyPrediction:
+    """Front-end product of a direction prediction."""
+
+    taken: bool
+    bubble_cycles: int = 0
+    half_width_cycles: int = 0
+
+
+class FetchPolicy(ABC):
+    """Per-branch predict/update driven by the simulator, in trace order."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def predict(self, pc: int) -> PolicyPrediction:
+        """Direction for the conditional branch at ``pc`` plus its cost."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool) -> bool:
+        """Resolve the branch; True when the final prediction was correct."""
+
+
+class SingleCyclePolicy(FetchPolicy):
+    """A predictor treated as answering within the fetch cycle."""
+
+    def __init__(self, predictor: BranchPredictor) -> None:
+        self.predictor = predictor
+        self.name = f"1cyc({predictor.name})"
+
+    def predict(self, pc: int) -> PolicyPrediction:
+        return PolicyPrediction(taken=self.predictor.predict(pc))
+
+    def update(self, pc: int, taken: bool) -> bool:
+        return self.predictor.update(pc, taken)
+
+
+class OverridingPolicy(FetchPolicy):
+    """Quick/slow overriding pair: disagreement costs the slow latency."""
+
+    def __init__(self, overriding: OverridingPredictor) -> None:
+        self.overriding = overriding
+        self.name = overriding.name
+        self.override_bubbles = 0
+
+    def predict(self, pc: int) -> PolicyPrediction:
+        outcome = self.overriding.predict(pc)
+        bubble = self.overriding.override_penalty_cycles if outcome.overridden else 0
+        if outcome.overridden:
+            self.override_bubbles += bubble
+        return PolicyPrediction(taken=outcome.final_taken, bubble_cycles=bubble)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        return self.overriding.update(pc, taken)
+
+
+class DualPathFetchPolicy(FetchPolicy):
+    """Slow predictor hidden by dual-path fetch: half-width windows."""
+
+    def __init__(self, dualpath: DualPathPolicy) -> None:
+        self.dualpath = dualpath
+        self.name = dualpath.name
+
+    def predict(self, pc: int) -> PolicyPrediction:
+        return PolicyPrediction(
+            taken=self.dualpath.predict(pc),
+            half_width_cycles=self.dualpath.half_bandwidth_window(),
+        )
+
+    def update(self, pc: int, taken: bool) -> bool:
+        return self.dualpath.update(pc, taken)
+
+
+class CascadingFetchPolicy(FetchPolicy):
+    """Cascading/lookahead prediction: the slow predictor's answer is used
+    only when the fetch gap since the previous branch covers its latency.
+
+    The simulator reports gaps through :meth:`note_gap` before each
+    ``predict`` call; with no report the gap is assumed zero (quick path).
+    """
+
+    def __init__(self, cascading: CascadingPredictor) -> None:
+        self.cascading = cascading
+        self.name = cascading.name
+        self._gap_cycles = 0
+
+    def note_gap(self, cycles: int) -> None:
+        self._gap_cycles = max(int(cycles), 0)
+
+    def predict(self, pc: int) -> PolicyPrediction:
+        taken = self.cascading.predict(pc, self._gap_cycles)
+        self._gap_cycles = 0
+        return PolicyPrediction(taken=taken)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        return self.cascading.update(pc, taken)

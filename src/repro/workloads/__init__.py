@@ -1,0 +1,66 @@
+"""Workload substrate: synthetic SPECint-2000 stand-in programs and traces."""
+
+from repro.workloads.cfg import (
+    Call,
+    Function,
+    If,
+    Loop,
+    MemOp,
+    Program,
+    StraightCode,
+    TripSampler,
+    layout_program,
+)
+from repro.workloads.predicates import (
+    BiasedPredicate,
+    GlobalParityPredicate,
+    HiddenStatePredicate,
+    PatternPredicate,
+    Predicate,
+    ProgramState,
+)
+from repro.workloads.io import load_trace, read_branch_trace, save_trace
+from repro.workloads.program import MemoryConfig, ProgramExecutor
+from repro.workloads.spec2000 import (
+    INSTRUCTIONS_PER_BRANCH,
+    get_profile,
+    spec2000_names,
+    spec2000_profiles,
+    spec2000_trace,
+)
+from repro.workloads.synth import PredicateMix, WorkloadProfile, build_program
+from repro.workloads.trace import Block, BranchKind, Trace
+
+__all__ = [
+    "BiasedPredicate",
+    "Block",
+    "BranchKind",
+    "Call",
+    "Function",
+    "GlobalParityPredicate",
+    "HiddenStatePredicate",
+    "INSTRUCTIONS_PER_BRANCH",
+    "If",
+    "Loop",
+    "MemOp",
+    "MemoryConfig",
+    "PatternPredicate",
+    "Predicate",
+    "PredicateMix",
+    "Program",
+    "ProgramExecutor",
+    "ProgramState",
+    "StraightCode",
+    "Trace",
+    "TripSampler",
+    "WorkloadProfile",
+    "build_program",
+    "get_profile",
+    "layout_program",
+    "load_trace",
+    "read_branch_trace",
+    "spec2000_names",
+    "spec2000_profiles",
+    "save_trace",
+    "spec2000_trace",
+]

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic traces and branch streams."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.spec2000 import spec2000_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small cached gcc trace shared by integration-style tests."""
+    return spec2000_trace("gcc", instructions=60_000)
+
+
+@pytest.fixture(scope="session")
+def eon_trace():
+    return spec2000_trace("eon", instructions=60_000)
+
+
+def biased_stream(n: int, bias: float, seed: int = 7, pc: int = 0x40_0000):
+    """(pc, taken) pairs from a biased coin — one static branch."""
+    rng = random.Random(seed)
+    return [(pc, rng.random() < bias) for _ in range(n)]
+
+
+def alternating_stream(n: int, pc: int = 0x40_0100):
+    return [(pc, i % 2 == 0) for i in range(n)]
+
+
+def loop_stream(reps: int, trips: int, pc: int = 0x40_0200):
+    """A fixed-trip loop back edge: taken trips-1 times, then not taken."""
+    out = []
+    for _ in range(reps):
+        for i in range(trips):
+            out.append((pc, i < trips - 1))
+    return out
+
+
+def run_stream(predictor, stream):
+    """Drive a predictor over (pc, taken) pairs; return mispredict count."""
+    wrong = 0
+    for pc, taken in stream:
+        predictor.predict(pc)
+        if not predictor.update(pc, taken):
+            wrong += 1
+    return wrong

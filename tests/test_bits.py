@@ -1,0 +1,115 @@
+"""Unit and property tests for repro.common.bits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bits import (
+    bit_reverse,
+    fold,
+    hash_pc,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    rotate_left,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, -8, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(1024) == 10
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_exact(12)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(16) == 0xFFFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mask(-1)
+
+
+class TestFold:
+    def test_identity_when_widths_match(self):
+        assert fold(0b1011, 4, 4) == 0b1011
+
+    def test_folds_high_bits(self):
+        # 8 bits folded to 4: high nibble XOR low nibble.
+        assert fold(0xA5, 8, 4) == (0xA ^ 0x5)
+
+    def test_fold_to_zero_width(self):
+        assert fold(0xFFFF, 16, 0) == 0
+
+    def test_masks_input(self):
+        # Bits above in_width must not contribute.
+        assert fold(0x1F, 4, 4) == 0xF
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=1, max_value=16))
+    def test_result_fits_out_width(self, value, out_width):
+        assert 0 <= fold(value, 32, out_width) <= mask(out_width)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_deterministic(self, value):
+        assert fold(value, 20, 7) == fold(value, 20, 7)
+
+
+class TestBitReverse:
+    def test_small(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_involution(self, value):
+        assert bit_reverse(bit_reverse(value, 12), 12) == value
+
+
+class TestRotate:
+    def test_basic(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_full_rotation_is_identity(self):
+        assert rotate_left(0b1011, 4, 4) == 0b1011
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rotate_left(1, 1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_preserves_popcount(self, value, amount):
+        rotated = rotate_left(value, amount, 10)
+        assert bin(rotated).count("1") == bin(value).count("1")
+
+
+class TestHashPc:
+    def test_ignores_alignment_bits(self):
+        assert hash_pc(0x1000, 10) == hash_pc(0x1001, 10) == hash_pc(0x1003, 10)
+
+    def test_distinguishes_nearby_instructions(self):
+        assert hash_pc(0x1000, 10) != hash_pc(0x1004, 10)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_in_range(self, pc):
+        assert 0 <= hash_pc(pc, 12) <= mask(12)

@@ -1,0 +1,130 @@
+"""Unit and property tests for CounterTable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import CounterTable
+from repro.common.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_default_init_weakly_not_taken(self):
+        table = CounterTable(16, bits=2)
+        assert table.value(0) == 1
+        assert not table.predict(0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CounterTable(12)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            CounterTable(16, bits=0)
+        with pytest.raises(ConfigurationError):
+            CounterTable(16, bits=9)
+
+    def test_rejects_bad_init(self):
+        with pytest.raises(ConfigurationError):
+            CounterTable(16, bits=2, init=4)
+
+    def test_storage_bits(self):
+        assert CounterTable(1024, bits=2).storage_bits == 2048
+        assert CounterTable(256, bits=3).storage_bits == 768
+
+
+class TestSaturation:
+    def test_increments_saturate(self):
+        table = CounterTable(4, bits=2)
+        for _ in range(10):
+            table.update(0, True)
+        assert table.value(0) == 3
+
+    def test_decrements_saturate(self):
+        table = CounterTable(4, bits=2)
+        for _ in range(10):
+            table.update(0, False)
+        assert table.value(0) == 0
+
+    def test_single_taken_flips_weak_entry(self):
+        table = CounterTable(4, bits=2)
+        table.update(0, True)
+        assert table.predict(0)
+
+    def test_hysteresis(self):
+        # A strongly-taken counter survives one not-taken outcome.
+        table = CounterTable(4, bits=2, init=3)
+        table.update(0, False)
+        assert table.predict(0)
+        table.update(0, False)
+        assert not table.predict(0)
+
+
+class TestConfidence:
+    def test_confidence_extremes(self):
+        table = CounterTable(4, bits=2, init=0)
+        assert table.confidence(0) == 1
+        table.set_value(0, 3)
+        assert table.confidence(0) == 1
+        table.set_value(0, 1)
+        assert table.confidence(0) == 0
+        table.set_value(0, 2)
+        assert table.confidence(0) == 0
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_confidence_3bit(self, value):
+        table = CounterTable(4, bits=3)
+        table.set_value(0, value)
+        assert 0 <= table.confidence(0) <= 3
+
+
+class TestLines:
+    def test_read_line_contents(self):
+        table = CounterTable(16, bits=2)
+        table.set_value(8, 3)
+        line = table.read_line(1, 8)
+        assert list(line) == [1, 1, 1, 1, 1, 1, 1, 1][:8] or line[0] == 3
+
+    def test_read_line_is_copy(self):
+        table = CounterTable(16, bits=2)
+        line = table.read_line(0, 8)
+        line[0] = 3
+        assert table.value(0) == 1
+
+    def test_read_line_bounds(self):
+        table = CounterTable(16, bits=2)
+        with pytest.raises(ConfigurationError):
+            table.read_line(2, 8)
+        with pytest.raises(ConfigurationError):
+            table.read_line(0, 12)
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        table = CounterTable(8, bits=2)
+        table.update(3, True)
+        snap = table.snapshot()
+        table.update(3, True)
+        table.restore(snap)
+        assert table.value(3) == 2
+
+    def test_shape_mismatch(self):
+        table = CounterTable(8, bits=2)
+        with pytest.raises(ConfigurationError):
+            table.restore(np.zeros(4, dtype=np.int16))
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_counter_tracks_majority_of_constant_stream(outcomes):
+    """Property: after any update sequence the counter stays in range, and
+    a long constant suffix forces the matching prediction."""
+    table = CounterTable(4, bits=2)
+    for taken in outcomes:
+        table.update(0, taken)
+        assert 0 <= table.value(0) <= 3
+    for _ in range(2):
+        table.update(0, True)
+    assert table.predict(0)

@@ -1,0 +1,48 @@
+"""The examples must stay runnable: execute the fast ones end-to-end."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_pipelined_predictor_deep_dive(capsys):
+    out = run_example("pipelined_predictor_deep_dive.py", [], capsys)
+    assert "delivered latency: 1 cycle" in out
+    assert "500/500 identical predictions" in out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "gshare.fast" in out
+    assert "IPC" in out
+    assert "mispredict %" in out
+
+
+def test_example_scripts_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 4
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python3\n"""', '"""')), script
+        assert "Run:" in text, f"{script} lacks a Run: hint"
+
+
+def test_budget_sweep_rejects_unknown_benchmark(capsys):
+    with pytest.raises(SystemExit):
+        run_example("budget_sweep.py", ["nonexistent"], capsys)

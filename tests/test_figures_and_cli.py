@@ -1,0 +1,123 @@
+"""Smoke tests for figure regeneration and the CLI (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.cli import RUNNERS, main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    """Shrink every figure to a two-benchmark, short-trace configuration."""
+    monkeypatch.setenv("REPRO_SCALE", "0.1")
+    monkeypatch.setenv("REPRO_BENCHMARKS", "gzip,eon")
+
+
+SMALL_BUDGETS = [8 * 1024, 64 * 1024]
+
+
+class TestFigures:
+    def test_figure1(self):
+        figure = figures.figure1(budgets=SMALL_BUDGETS)
+        assert set(figure.series) == set(figures.FIGURE1_FAMILIES)
+        for family in figure.series:
+            assert set(figure.series[family]) == set(SMALL_BUDGETS)
+        text = figure.render()
+        assert "Figure 1" in text and "64K" in text
+
+    def test_figure5(self):
+        figure = figures.figure5(budgets=SMALL_BUDGETS)
+        assert "gshare_fast" in figure.series
+        assert all(0 <= v < 100 for values in figure.series.values() for v in values.values())
+
+    def test_figure6(self):
+        figure = figures.figure6(budget_bytes=64 * 1024)
+        assert figure.benchmarks == ["gzip", "eon"]
+        assert "perceptron" in figure.series
+        assert figure.means["perceptron"] > 0
+        assert "arith.mean" in figure.render()
+
+    def test_figure2(self):
+        figure = figures.figure2(budgets=[16 * 1024])
+        labels = set(figure.series)
+        assert any("(no delay)" in label for label in labels)
+        assert any("(overriding)" in label for label in labels)
+
+    def test_figure7_two_panels(self):
+        left, right = figures.figure7(budgets=[16 * 1024])
+        assert "ideal" in left.title
+        assert "overriding" in right.title
+        for panel in (left, right):
+            assert "gshare_fast" in panel.series
+            for values in panel.series.values():
+                for ipc in values.values():
+                    assert 0 < ipc < 8
+
+    def test_figure8(self):
+        figure = figures.figure8(budget_bytes=16 * 1024)
+        assert figure.mean_label == "harm.mean"
+        assert set(figure.series) == {"multicomponent", "perceptron", "gshare_fast"}
+
+    def test_table1_contents(self):
+        text = figures.table1()
+        assert "64 KB" in text
+        assert "2 MB" in text
+        assert "512 entry" in text
+        assert "20" in text
+
+    def test_table2_contents(self):
+        text = figures.table2()
+        assert "18K" in text and "512K" in text
+
+    def test_delayed_update_study(self):
+        result = figures.delayed_update_study(budget_bytes=64 * 1024, delays=(0, 64))
+        assert set(result.delays) == {0, 64}
+        # Section 3.2: slow update costs almost nothing.
+        delta = abs(result.misprediction_percent[64] - result.misprediction_percent[0])
+        assert delta < 1.0
+        ipc_ratio = result.ipc[64] / result.ipc[0]
+        assert 0.97 < ipc_ratio < 1.03
+        assert "update delay" in result.render()
+
+    def test_extension_pipelined_families(self):
+        figure = figures.extension_pipelined_families(budgets=[16 * 1024])
+        assert set(figure.series) == {"gshare_fast", "bimode_fast"}
+        assert (
+            figure.series["bimode_fast"][16 * 1024]
+            < figure.series["gshare_fast"][16 * 1024]
+        )
+
+    def test_override_disagreement(self):
+        result = figures.override_disagreement("perceptron", budget_bytes=16 * 1024)
+        assert set(result.per_benchmark) == {"gzip", "eon"}
+        assert 0 < result.mean_rate < 0.5
+        assert "override" in result.render()
+
+
+class TestCli:
+    def test_runner_registry_covers_all_experiments(self):
+        expected = {
+            "figure1",
+            "figure2",
+            "table1",
+            "table2",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "delayed-update",
+            "override",
+            "extension",
+        }
+        assert set(RUNNERS) == expected
+
+    def test_cli_runs_tables(self, capsys):
+        assert main(["table1", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Table 2" in output
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])

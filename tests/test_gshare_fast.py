@@ -1,0 +1,156 @@
+"""Tests for the gshare.fast functional model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.gshare_fast import (
+    GshareFastPredictor,
+    build_gshare_fast,
+    default_buffer_bits,
+)
+from repro.predictors.gshare import GsharePredictor
+from tests.conftest import alternating_stream, biased_stream, loop_stream, run_stream
+
+
+class TestConfiguration:
+    def test_default_buffer_bits(self):
+        assert default_buffer_bits(3, 16) == 3
+        assert default_buffer_bits(1, 16) == 3  # at least the 8-entry buffer
+        assert default_buffer_bits(11, 16) == 10  # capped
+        assert default_buffer_bits(3, 4) == 3
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ConfigurationError):
+            GshareFastPredictor(entries=1000)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            GshareFastPredictor(entries=1024, pht_latency=0)
+        with pytest.raises(ConfigurationError):
+            GshareFastPredictor(entries=16, buffer_bits=4)
+        with pytest.raises(ConfigurationError):
+            GshareFastPredictor(entries=1024, update_delay=-1)
+
+    def test_staleness_rule(self):
+        predictor = GshareFastPredictor(entries=4096, pht_latency=3, buffer_bits=3)
+        assert predictor.staleness == 3
+        predictor = GshareFastPredictor(entries=4096, pht_latency=7, buffer_bits=3)
+        assert predictor.staleness == 7
+
+    def test_history_covers_staleness_window(self):
+        predictor = GshareFastPredictor(entries=4096, pht_latency=5)
+        assert predictor.history.length == predictor.index_bits + predictor.staleness
+
+
+class TestIndexStructure:
+    def test_index_in_range(self):
+        predictor = GshareFastPredictor(entries=1024, pht_latency=3)
+        for i in range(200):
+            pc = 0x1000 + i * 4
+            index = predictor.index(pc)
+            assert 0 <= index < 1024
+            predictor.predict(pc)
+            predictor.update(pc, i % 2 == 0)
+
+    def test_line_address_ignores_newest_history(self):
+        """The line address must not depend on the newest (in-flight)
+        history bits — the hardware constraint that makes prefetch work."""
+        predictor = GshareFastPredictor(entries=4096, pht_latency=3, buffer_bits=3)
+        pc = 0x2000
+        predictor.history._value = 0b101010101010  # arbitrary
+        line_before = predictor.line_address(pc)
+        # Perturb only the newest `staleness` bits.
+        predictor.history._value ^= 0b111
+        assert predictor.line_address(pc) == line_before
+
+    def test_pc_affects_only_low_bits(self):
+        predictor = GshareFastPredictor(entries=4096, pht_latency=3, buffer_bits=3)
+        indices = {predictor.index(0x1000 + i * 4) for i in range(64)}
+        lines = {index >> predictor.buffer_bits for index in indices}
+        assert len(lines) == 1  # same history -> same line, any PC
+
+
+class TestAccuracy:
+    def test_learns_alternation(self):
+        predictor = GshareFastPredictor(entries=4096, pht_latency=3)
+        wrong = run_stream(predictor, alternating_stream(400))
+        assert wrong / 400 < 0.10
+
+    def test_learns_loop_exits(self):
+        predictor = GshareFastPredictor(entries=65536, pht_latency=3)
+        wrong = run_stream(predictor, loop_stream(reps=100, trips=8))
+        assert wrong / 800 < 0.08
+
+    def test_close_to_gshare_on_shared_workload(self, small_trace):
+        """gshare.fast trades a few PC bits for pipelinability; its accuracy
+        should be in the neighbourhood of plain gshare (the paper's
+        Figure 5 shows it slightly worse than the complex predictors)."""
+        fast = build_gshare_fast(16 * 1024)
+        gshare = GsharePredictor(entries=16 * 1024 * 4, history_length=14)
+        fast_wrong = run_stream(fast, list(small_trace.conditional_branches()))
+        gshare_wrong = run_stream(gshare, list(small_trace.conditional_branches()))
+        branches = small_trace.conditional_branch_count
+        assert abs(fast_wrong - gshare_wrong) / branches < 0.06
+
+
+class TestDelayedUpdate:
+    def test_zero_delay_updates_immediately(self):
+        predictor = GshareFastPredictor(entries=1024, pht_latency=3, update_delay=0)
+        index = predictor.index(0x1000)
+        predictor.predict(0x1000)
+        predictor.update(0x1000, True)
+        assert predictor.table.value(index) == 2
+
+    def test_delayed_update_defers_training(self):
+        predictor = GshareFastPredictor(entries=1024, pht_latency=3, update_delay=4)
+        index = predictor.index(0x1000)
+        predictor.predict(0x1000)
+        predictor.update(0x1000, True)
+        assert predictor.table.value(index) == 1  # still pending
+        predictor.flush_updates()
+        assert predictor.table.value(index) == 2
+
+    def test_delay_64_costs_little_accuracy(self, small_trace):
+        """Section 3.2: a 64-branch predict-to-update distance moves the
+        misprediction rate by only a whisker."""
+        stream = list(small_trace.conditional_branches())
+        immediate = run_stream(build_gshare_fast(64 * 1024, update_delay=0), stream)
+        delayed = run_stream(build_gshare_fast(64 * 1024, update_delay=64), stream)
+        assert abs(delayed - immediate) / len(stream) < 0.02
+
+    def test_queue_length_bounded(self):
+        predictor = GshareFastPredictor(entries=1024, pht_latency=3, update_delay=8)
+        for i in range(100):
+            pc = 0x1000 + (i % 16) * 4
+            predictor.predict(pc)
+            predictor.update(pc, i % 2 == 0)
+        assert len(predictor._deferred_updates) <= 8
+
+
+class TestMultiBranchBufferSizing:
+    """Section 3.3.1: PHT-buffer sizing for multiple-branch prediction."""
+
+    def test_paper_example(self):
+        from repro.core.gshare_fast import multi_branch_buffer_entries
+
+        # 8 branches per fetch block, 3-cycle PHT latency -> 64 entries.
+        assert multi_branch_buffer_entries(3, 8) == 64
+
+    def test_single_branch_case(self):
+        from repro.core.gshare_fast import multi_branch_buffer_entries
+
+        assert multi_branch_buffer_entries(3, 1) == 8
+
+    def test_scaling(self):
+        from repro.core.gshare_fast import multi_branch_buffer_entries
+
+        assert multi_branch_buffer_entries(4, 2) == 32
+        assert multi_branch_buffer_entries(5, 4) == 128
+
+    def test_validation(self):
+        from repro.core.gshare_fast import multi_branch_buffer_entries
+
+        with pytest.raises(ConfigurationError):
+            multi_branch_buffer_entries(0, 4)
+        with pytest.raises(ConfigurationError):
+            multi_branch_buffer_entries(3, 0)

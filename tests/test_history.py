@@ -1,0 +1,108 @@
+"""Unit and property tests for history registers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.history import HistoryRegister, LocalHistoryTable
+
+
+class TestHistoryRegister:
+    def test_push_order_newest_in_bit0(self):
+        history = HistoryRegister(4)
+        history.push(True)
+        history.push(False)
+        history.push(True)
+        assert history.value == 0b101
+
+    def test_length_masking(self):
+        history = HistoryRegister(3)
+        for _ in range(10):
+            history.push(True)
+        assert history.value == 0b111
+
+    def test_zero_length_is_inert(self):
+        history = HistoryRegister(0)
+        history.push(True)
+        assert history.value == 0
+
+    def test_bit_access(self):
+        history = HistoryRegister(4)
+        history.push(True)
+        history.push(False)
+        assert history.bit(0) is False
+        assert history.bit(1) is True
+
+    def test_bit_out_of_range(self):
+        history = HistoryRegister(4)
+        with pytest.raises(ConfigurationError):
+            history.bit(4)
+
+    def test_checkpoint_restore(self):
+        history = HistoryRegister(8)
+        history.push(True)
+        snapshot = history.checkpoint()
+        history.push(False)
+        history.push(False)
+        history.restore(snapshot)
+        assert history.value == 1
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HistoryRegister(-1)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_value_matches_reference(self, outcomes):
+        history = HistoryRegister(16)
+        reference = 0
+        for taken in outcomes:
+            history.push(taken)
+            reference = ((reference << 1) | int(taken)) & 0xFFFF
+        assert history.value == reference
+
+
+class TestLocalHistoryTable:
+    def test_rows_are_independent(self):
+        table = LocalHistoryTable(16, 8)
+        table.push(0x1000, True)
+        assert table.read(0x1000) == 1
+        assert table.read(0x1004) == 0
+
+    def test_row_aliasing(self):
+        table = LocalHistoryTable(16, 8)
+        # PCs 16 entries apart share a row.
+        table.push(0x1000, True)
+        assert table.read(0x1000 + 16 * 4) == 1
+
+    def test_checkpoint_roundtrip(self):
+        table = LocalHistoryTable(8, 4)
+        table.push(0x2000, True)
+        snapshot = table.checkpoint(0x2000)
+        table.push(0x2000, True)
+        table.restore(snapshot)
+        assert table.read(0x2000) == 1
+
+    def test_storage_bits(self):
+        assert LocalHistoryTable(1024, 10).storage_bits == 10240
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            LocalHistoryTable(12, 8)
+        with pytest.raises(ConfigurationError):
+            LocalHistoryTable(16, 0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_length_mask(self, outcomes):
+        table = LocalHistoryTable(4, 6)
+        for taken in outcomes:
+            table.push(0x3000, taken)
+        assert 0 <= table.read(0x3000) < (1 << 6)
+
+    def test_clear(self):
+        table = LocalHistoryTable(4, 6)
+        table.push(0x3000, True)
+        table.clear()
+        assert table.read(0x3000) == 0

@@ -1,0 +1,144 @@
+"""Integration tests: the paper's qualitative claims at small scale.
+
+These drive the whole stack (workloads -> predictors -> timing -> cycle
+simulator) and assert the *shape* results the reproduction is built around.
+They use short traces and a two-benchmark subset so the suite stays fast;
+the benchmark harness repeats them at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gshare_fast import build_gshare_fast
+from repro.core.overriding import OverridingPredictor
+from repro.harness.experiment import measure_accuracy, measure_override
+from repro.harness.sweep import make_policy
+from repro.predictors.factory import build_predictor
+from repro.timing.latency import predictor_latency
+from repro.uarch.config import MachineConfig
+from repro.uarch.policies import SingleCyclePolicy
+from repro.uarch.simulator import CycleSimulator
+from repro.workloads.spec2000 import get_profile, spec2000_trace
+
+BUDGET = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: spec2000_trace(name, instructions=150_000) for name in ("gcc", "eon")}
+
+
+def mispredict(trace, predictor):
+    warmup = trace.conditional_branch_count // 5
+    return measure_accuracy(predictor, trace, warmup_branches=warmup).misprediction_rate
+
+
+class TestAccuracyOrdering:
+    def test_complex_predictors_beat_gshare_fast(self, traces):
+        """Figure 5's message: the complex predictors are more accurate
+        than gshare.fast at equal budgets."""
+        for trace in traces.values():
+            fast = mispredict(trace, build_gshare_fast(BUDGET))
+            perceptron = mispredict(trace, build_predictor("perceptron", BUDGET))
+            multicomponent = mispredict(trace, build_predictor("multicomponent", BUDGET))
+            assert perceptron < fast
+            assert multicomponent < fast
+
+    def test_perceptron_is_most_accurate(self, traces):
+        for trace in traces.values():
+            perceptron = mispredict(trace, build_predictor("perceptron", BUDGET))
+            for family in ("gshare", "bimode", "2bcgskew", "multicomponent"):
+                assert perceptron <= mispredict(trace, build_predictor(family, BUDGET)) + 0.002
+
+    def test_gshare_fast_close_to_gshare(self, traces):
+        """gshare.fast pays only a small accuracy tax over plain gshare for
+        its pipelinability."""
+        for trace in traces.values():
+            fast = mispredict(trace, build_gshare_fast(BUDGET))
+            gshare = mispredict(trace, build_predictor("gshare", BUDGET))
+            assert abs(fast - gshare) < 0.05
+
+    def test_history_predictors_beat_bimodal(self, traces):
+        for trace in traces.values():
+            bimodal = mispredict(trace, build_predictor("bimodal", BUDGET))
+            gshare = mispredict(trace, build_predictor("gshare", BUDGET))
+            assert gshare < bimodal
+
+
+class TestLatencyStory:
+    def test_override_bubbles_erode_complex_advantage(self, traces):
+        """Figure 7's punchline mechanism: moving a complex predictor from
+        ideal single-cycle to realistic overriding costs IPC, and the cost
+        grows with the budget (its access latency)."""
+        trace = traces["gcc"]
+        ilp = get_profile("gcc").ilp
+
+        def ipc(family, budget, mode):
+            policy = make_policy(family, budget, mode)
+            return CycleSimulator(policy, ilp=ilp).run(trace).ipc
+
+        ideal_small = ipc("perceptron", 16 * 1024, "ideal")
+        real_small = ipc("perceptron", 16 * 1024, "overriding")
+        ideal_large = ipc("perceptron", 512 * 1024, "ideal")
+        real_large = ipc("perceptron", 512 * 1024, "overriding")
+        assert real_small <= ideal_small
+        assert real_large < ideal_large
+        # The ideal-vs-real gap widens with predictor size (latency).
+        assert (ideal_large - real_large) > (ideal_small - real_small)
+
+    def test_gshare_fast_immune_to_budget_latency(self, traces):
+        """gshare.fast delivers single-cycle predictions at every size, so
+        its IPC must not degrade with budget the way overriding does."""
+        trace = traces["eon"]
+        ilp = get_profile("eon").ilp
+        small = CycleSimulator(
+            SingleCyclePolicy(build_gshare_fast(16 * 1024)), ilp=ilp
+        ).run(trace)
+        large = CycleSimulator(
+            SingleCyclePolicy(build_gshare_fast(512 * 1024)), ilp=ilp
+        ).run(trace)
+        assert large.ipc > small.ipc * 0.9
+        assert large.stalls.override_bubble == 0
+
+    def test_latency_model_feeds_override_penalty(self):
+        latency_small = predictor_latency("perceptron", 16 * 1024)
+        latency_large = predictor_latency("perceptron", 512 * 1024)
+        assert latency_large > latency_small
+        overriding = OverridingPredictor(
+            build_predictor("perceptron", 512 * 1024), slow_latency=latency_large
+        )
+        assert overriding.override_penalty_cycles == latency_large
+
+
+class TestOverrideRates:
+    def test_disagreement_rates_in_paper_range(self, traces):
+        """Section 4.5: quick/slow disagreement is a sizeable single-digit
+        percentage on typical workloads."""
+        for trace in traces.values():
+            overriding = OverridingPredictor(
+                build_predictor("perceptron", BUDGET),
+                slow_latency=predictor_latency("perceptron", BUDGET),
+            )
+            result = measure_override(overriding, trace)
+            assert 0.02 < result.override_rate < 0.30
+
+
+class TestDepthScaling:
+    def test_deeper_pipelines_amplify_the_latency_problem(self, traces):
+        """The paper's motivation: deeper pipelines make predictor-induced
+        bubbles costlier, shifting the balance toward gshare.fast."""
+        trace = traces["gcc"]
+        ilp = get_profile("gcc").ilp
+
+        def gap_at_depth(depth):
+            config = MachineConfig(pipeline_depth=depth)
+            real = CycleSimulator(
+                make_policy("multicomponent", 256 * 1024, "overriding"), config=config, ilp=ilp
+            ).run(trace)
+            ideal = CycleSimulator(
+                make_policy("multicomponent", 256 * 1024, "ideal"), config=config, ilp=ilp
+            ).run(trace)
+            return (ideal.ipc - real.ipc) / ideal.ipc
+
+        assert gap_at_depth(28) > 0

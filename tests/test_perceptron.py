@@ -1,0 +1,115 @@
+"""Tests for the perceptron predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.predictors.perceptron import (
+    WEIGHT_MAX,
+    WEIGHT_MIN,
+    PerceptronPredictor,
+    training_threshold,
+)
+from tests.conftest import alternating_stream, biased_stream, run_stream
+
+
+class TestConfiguration:
+    def test_threshold_formula(self):
+        assert training_threshold(10) == int(1.93 * 10 + 14)
+        assert training_threshold(59) == int(1.93 * 59 + 14)
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ConfigurationError):
+            PerceptronPredictor(0, global_history=10)
+        with pytest.raises(ConfigurationError):
+            PerceptronPredictor(16, global_history=0)
+        with pytest.raises(ConfigurationError):
+            PerceptronPredictor(16, global_history=8, local_history=-1)
+
+    def test_storage_accounting(self):
+        predictor = PerceptronPredictor(64, global_history=15, local_history=0)
+        assert predictor.storage_bits == 64 * 16 * 8 + 15
+
+    def test_storage_includes_local_table(self):
+        with_local = PerceptronPredictor(
+            64, global_history=12, local_history=4, local_history_entries=256
+        )
+        assert with_local.storage_bits == 64 * 17 * 8 + 12 + 256 * 4
+
+
+class TestLearning:
+    def test_learns_constant(self):
+        predictor = PerceptronPredictor(64, global_history=12)
+        wrong = run_stream(predictor, [(0x1000, True)] * 100)
+        assert wrong <= 3
+
+    def test_learns_alternation(self):
+        predictor = PerceptronPredictor(64, global_history=12)
+        wrong = run_stream(predictor, alternating_stream(400))
+        assert wrong / 400 < 0.05
+
+    def test_learns_long_range_correlation_beyond_table_reach(self):
+        """A branch equal to the outcome 20 branches ago, with 19 noisy
+        branches in between — linearly separable, so the perceptron learns
+        it even though the intervening noise fragments table contexts."""
+        import random
+
+        rng = random.Random(11)
+        predictor = PerceptronPredictor(128, global_history=24)
+        past: list[bool] = []
+        wrong = 0
+        scored = 0
+        total = 6000
+        for i in range(total):
+            if i % 20 == 19 and len(past) >= 19:
+                outcome = past[-19]  # copies a 19-branch-old outcome
+                predictor.predict(0x9000)
+                correct = predictor.update(0x9000, outcome)
+                if i > total // 2:  # score after training converges
+                    scored += 1
+                    if not correct:
+                        wrong += 1
+            else:
+                outcome = rng.random() < 0.5
+                pc = 0x1000 + (i % 8) * 4
+                predictor.predict(pc)
+                predictor.update(pc, outcome)
+            past.append(outcome)
+        assert scored > 100
+        assert wrong / scored < 0.15
+
+    def test_tracks_bias(self):
+        predictor = PerceptronPredictor(64, global_history=12)
+        wrong = run_stream(predictor, biased_stream(600, 0.95))
+        assert wrong / 600 < 0.12
+
+    def test_local_history_captures_private_pattern(self):
+        predictor = PerceptronPredictor(
+            64, global_history=8, local_history=8, local_history_entries=64
+        )
+        pattern = [True, False, False]
+        stream = [(0x4000, pattern[i % 3]) for i in range(600)]
+        wrong = run_stream(predictor, stream)
+        assert wrong / 600 < 0.08
+
+
+class TestWeights:
+    def test_weights_saturate(self):
+        predictor = PerceptronPredictor(4, global_history=4)
+        for _ in range(600):
+            predictor.predict(0x1000)
+            predictor.update(0x1000, True)
+        assert predictor.weights.max() <= WEIGHT_MAX
+        assert predictor.weights.min() >= WEIGHT_MIN
+
+    def test_no_training_when_confident_and_correct(self):
+        predictor = PerceptronPredictor(4, global_history=4)
+        # Drive far past threshold.
+        for _ in range(400):
+            predictor.predict(0x1000)
+            predictor.update(0x1000, True)
+        snapshot = predictor.weights.copy()
+        predictor.predict(0x1000)
+        predictor.update(0x1000, True)
+        assert (predictor.weights == snapshot).all()

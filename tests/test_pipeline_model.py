@@ -1,0 +1,149 @@
+"""Tests for the cycle-accurate gshare.fast pipeline model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.gshare_fast import GshareFastPredictor
+from repro.core.pipeline_model import GshareFastPipeline
+
+
+def make_pair(entries=4096, latency=3, buffer_bits=3):
+    functional = GshareFastPredictor(
+        entries=entries, pht_latency=latency, buffer_bits=buffer_bits
+    )
+    reference = GshareFastPredictor(
+        entries=entries, pht_latency=latency, buffer_bits=buffer_bits
+    )
+    return GshareFastPipeline(functional), reference
+
+
+def dense_stream(n, seed=5):
+    """One branch per cycle: pcs cycle over a few sites, outcomes mixed."""
+    rng = random.Random(seed)
+    pcs = [0x1000 + i * 4 for i in range(6)]
+    stream = []
+    for i in range(n):
+        pc = pcs[i % len(pcs)]
+        taken = rng.random() < 0.7 if i % 3 else i % 2 == 0
+        stream.append((pc, taken))
+    return stream
+
+
+class TestSingleCycleDelivery:
+    def test_prediction_delivered_same_tick(self):
+        pipeline, _ = make_pair()
+        prediction = None
+        for _ in range(10):
+            prediction = pipeline.tick(branch_pc=0x1000)
+            assert prediction is not None
+            assert prediction.cycle == pipeline.cycle  # same cycle
+            pipeline.resolve(prediction, True)
+        assert pipeline.delivered_latency_cycles() == 1
+
+    def test_branch_free_cycles_return_none(self):
+        pipeline, _ = make_pair()
+        assert pipeline.tick() is None
+        assert pipeline.tick() is None
+
+
+class TestProtocol:
+    def test_unresolved_prediction_blocks_tick(self):
+        pipeline, _ = make_pair()
+        prediction = pipeline.tick(branch_pc=0x1000)
+        with pytest.raises(ProtocolError):
+            pipeline.tick(branch_pc=0x1004)
+        pipeline.resolve(prediction, True)
+        pipeline.tick(branch_pc=0x1004)
+
+    def test_resolve_requires_matching_prediction(self):
+        pipeline, _ = make_pair()
+        first = pipeline.tick(branch_pc=0x1000)
+        pipeline.resolve(first, True)
+        with pytest.raises(ProtocolError):
+            pipeline.resolve(first, True)
+
+
+class TestEquivalence:
+    def test_matches_functional_model_on_dense_stream(self):
+        """On a branch-every-cycle stream the pipelined predictor must be
+        bit-identical to the functional model — the paper's claim that
+        pipelining costs nothing beyond the index restructuring."""
+        pipeline, reference = make_pair()
+        for pc, taken in dense_stream(600):
+            pipelined = pipeline.tick(branch_pc=pc)
+            expected = reference.predict(pc)
+            assert pipelined.taken == expected, f"diverged at pc={pc:#x}"
+            pipeline.resolve(pipelined, taken)
+            reference.update(pc, taken)
+
+    def test_matches_functional_with_larger_latency(self):
+        pipeline, reference = make_pair(entries=16384, latency=7, buffer_bits=7)
+        for pc, taken in dense_stream(400, seed=9):
+            pipelined = pipeline.tick(branch_pc=pc)
+            expected = reference.predict(pc)
+            assert pipelined.taken == expected
+            pipeline.resolve(pipelined, taken)
+            reference.update(pc, taken)
+
+    def test_buffer_hits_after_warmup_on_dense_stream(self):
+        pipeline, _ = make_pair()
+        for i, (pc, taken) in enumerate(dense_stream(200)):
+            prediction = pipeline.tick(branch_pc=pc)
+            pipeline.resolve(prediction, taken)
+        # Only the first `latency` predictions can miss the buffer.
+        assert pipeline.buffer_misses <= pipeline.latency
+        assert pipeline.buffer_hits >= 200 - pipeline.latency
+
+
+class TestRecovery:
+    def test_mispredict_restores_history(self):
+        pipeline, _ = make_pair()
+        # Warm up.
+        for pc, taken in dense_stream(50):
+            pipeline.resolve(pipeline.tick(branch_pc=pc), taken)
+        before = pipeline.spec_history
+        prediction = pipeline.tick(branch_pc=0x2000)
+        actual = not prediction.taken  # force a misprediction
+        pipeline.resolve(prediction, actual)
+        # Speculative history must now equal the checkpoint plus the truth.
+        expected = ((before << 1) | int(actual)) & ((1 << pipeline.functional.history.length) - 1)
+        assert pipeline.spec_history == expected
+
+    def test_correct_prediction_keeps_speculative_bit(self):
+        pipeline, _ = make_pair()
+        for pc, taken in dense_stream(50):
+            pipeline.resolve(pipeline.tick(branch_pc=pc), taken)
+        before = pipeline.spec_history
+        prediction = pipeline.tick(branch_pc=0x2000)
+        pipeline.resolve(prediction, prediction.taken)
+        expected = ((before << 1) | int(prediction.taken)) & (
+            (1 << pipeline.functional.history.length) - 1
+        )
+        assert pipeline.spec_history == expected
+
+    def test_training_happens_on_resolve(self):
+        pipeline, _ = make_pair()
+        prediction = pipeline.tick(branch_pc=0x1000)
+        value_before = pipeline.table.value(prediction.pht_index)
+        pipeline.resolve(prediction, True)
+        assert pipeline.table.value(prediction.pht_index) == value_before + 1
+
+
+class TestSparseStreams:
+    def test_gaps_between_branches_are_fine(self):
+        pipeline, _ = make_pair()
+        rng = random.Random(2)
+        predictions = 0
+        for i in range(300):
+            if i % 4 == 0:
+                prediction = pipeline.tick(branch_pc=0x1000 + (i % 3) * 4)
+                pipeline.resolve(prediction, rng.random() < 0.6)
+                predictions += 1
+            else:
+                pipeline.tick()
+        assert predictions == 75
+        assert pipeline.buffer_hits + pipeline.buffer_misses == 75

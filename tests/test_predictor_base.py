@@ -1,0 +1,69 @@
+"""Tests for the BranchPredictor protocol and stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.predictors.base import PredictorStats
+from repro.predictors.bimodal import BimodalPredictor
+
+
+class TestProtocol:
+    def test_predict_then_update(self):
+        predictor = BimodalPredictor(64)
+        prediction = predictor.predict(0x1000)
+        assert isinstance(prediction, bool)
+        correct = predictor.update(0x1000, True)
+        assert correct == (prediction is True)
+
+    def test_double_predict_rejected(self):
+        predictor = BimodalPredictor(64)
+        predictor.predict(0x1000)
+        with pytest.raises(ProtocolError):
+            predictor.predict(0x1004)
+
+    def test_update_without_predict_rejected(self):
+        predictor = BimodalPredictor(64)
+        with pytest.raises(ProtocolError):
+            predictor.update(0x1000, True)
+
+    def test_update_pc_mismatch_rejected(self):
+        predictor = BimodalPredictor(64)
+        predictor.predict(0x1000)
+        with pytest.raises(ProtocolError):
+            predictor.update(0x2000, True)
+
+    def test_peek_does_not_enter_protocol(self):
+        predictor = BimodalPredictor(64)
+        predictor.peek(0x1000)
+        predictor.predict(0x1000)  # would raise if peek left pending state
+        predictor.update(0x1000, True)
+
+    def test_peek_does_not_train(self):
+        predictor = BimodalPredictor(64)
+        before = predictor.table.value(predictor.index(0x1000))
+        for _ in range(5):
+            predictor.peek(0x1000)
+        assert predictor.table.value(predictor.index(0x1000)) == before
+
+
+class TestStats:
+    def test_counts(self):
+        predictor = BimodalPredictor(64)
+        for taken in (True, True, False, True):
+            predictor.predict(0x1000)
+            predictor.update(0x1000, taken)
+        assert predictor.stats.predictions == 4
+        assert 0 <= predictor.stats.mispredictions <= 4
+
+    def test_rate_of_empty_stats(self):
+        assert PredictorStats().misprediction_rate == 0.0
+
+    def test_rate_math(self):
+        stats = PredictorStats(predictions=10, mispredictions=3)
+        assert stats.misprediction_rate == pytest.approx(0.3)
+
+    def test_storage_bytes_rounds_up(self):
+        predictor = BimodalPredictor(64)  # 128 bits
+        assert predictor.storage_bytes == 16

@@ -1,0 +1,111 @@
+"""Tests for budget sizing rules and the predictor factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import BudgetError, ConfigurationError
+from repro.core.gshare_fast import build_gshare_fast
+from repro.predictors.factory import build_predictor, predictor_families
+from repro.predictors.sizing import (
+    GSHARE_MAX_HISTORY,
+    floor_pow2,
+    perceptron_history_length,
+    size_2bcgskew,
+    size_bimode,
+    size_gshare,
+    size_multicomponent,
+    size_perceptron,
+)
+
+KIB = 1024
+BUDGETS = [2 * KIB, 8 * KIB, 32 * KIB, 128 * KIB, 512 * KIB]
+
+
+class TestSizing:
+    def test_floor_pow2(self):
+        assert floor_pow2(1) == 1
+        assert floor_pow2(1023) == 512
+        assert floor_pow2(1024) == 1024
+        with pytest.raises(BudgetError):
+            floor_pow2(0)
+
+    def test_gshare_fills_budget(self):
+        config = size_gshare(64 * KIB)
+        assert config.entries == 64 * KIB * 4
+        assert config.history_length == GSHARE_MAX_HISTORY
+
+    def test_gshare_small_budget_history(self):
+        config = size_gshare(1 * KIB)
+        assert config.history_length == min(12, GSHARE_MAX_HISTORY)
+
+    def test_gshare_rejects_tiny_budget(self):
+        with pytest.raises(BudgetError):
+            size_gshare(4)
+
+    def test_bimode_three_tables(self):
+        config = size_bimode(48 * KIB)
+        # 3 tables of 2-bit counters must fit in the budget.
+        assert 3 * config.direction_entries * 2 <= 48 * KIB * 8
+
+    def test_gskew_banks(self):
+        config = size_2bcgskew(64 * KIB)
+        assert 4 * config.bank_entries * 2 <= 64 * KIB * 8
+        assert config.short_history < config.long_history
+
+    def test_perceptron_history_table(self):
+        assert perceptron_history_length(16 * KIB) == 36
+        assert perceptron_history_length(64 * KIB) == 59
+        # off-grid budgets interpolate between neighbours
+        assert 36 <= perceptron_history_length(24 * KIB) <= 59
+
+    def test_perceptron_budget_respected(self):
+        config = size_perceptron(32 * KIB)
+        history = config.global_history + config.local_history
+        weight_bytes = config.num_perceptrons * (history + 1)
+        local_bytes = (config.local_history_entries * config.local_history + 7) // 8
+        assert weight_bytes + local_bytes <= 32 * KIB
+
+    def test_multicomponent_history_caps(self):
+        config = size_multicomponent(512 * KIB)
+        assert config.gshare_long_history <= GSHARE_MAX_HISTORY
+
+
+class TestFactory:
+    def test_families_list(self):
+        families = predictor_families()
+        for expected in ("gshare", "bimode", "2bcgskew", "perceptron", "multicomponent"):
+            assert expected in families
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            build_predictor("tage", 64 * KIB)
+
+    @pytest.mark.parametrize("family", predictor_families())
+    @pytest.mark.parametrize("budget", BUDGETS)
+    def test_storage_within_budget(self, family, budget):
+        """Every built predictor must fit its hardware budget (allowing a
+        small overhead for history registers and selector counters)."""
+        predictor = build_predictor(family, budget)
+        assert predictor.storage_bytes <= budget * 1.05
+
+    @pytest.mark.parametrize("family", predictor_families())
+    def test_storage_grows_with_budget(self, family):
+        small = build_predictor(family, 8 * KIB).storage_bits
+        large = build_predictor(family, 128 * KIB).storage_bits
+        assert large > small
+
+    @pytest.mark.parametrize("budget", BUDGETS)
+    def test_gshare_fast_budget(self, budget):
+        predictor = build_gshare_fast(budget)
+        assert predictor.storage_bytes <= budget * 1.05
+        assert predictor.pht_latency >= 1
+
+    @pytest.mark.parametrize("family", predictor_families())
+    def test_built_predictors_run(self, family):
+        predictor = build_predictor(family, 16 * KIB)
+        for i in range(32):
+            pc = 0x1000 + (i % 4) * 4
+            predictor.predict(pc)
+            predictor.update(pc, i % 3 != 0)
+        assert predictor.stats.predictions == 32

@@ -1,0 +1,184 @@
+"""Behavioural tests for the table-based predictors: bimodal, gshare,
+Bi-Mode, e-gskew/2Bc-gskew, local, and tournament."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.gskew import EGskewPredictor, TwoBcGskewPredictor, skew_index
+from repro.predictors.local import LocalPredictor
+from repro.predictors.tournament import TournamentPredictor
+from tests.conftest import alternating_stream, biased_stream, loop_stream, run_stream
+
+
+class TestBimodal:
+    def test_learns_constant_branch(self):
+        predictor = BimodalPredictor(256)
+        wrong = run_stream(predictor, [(0x1000, True)] * 50)
+        assert wrong <= 2  # only the cold-start errors
+
+    def test_tracks_bias(self):
+        predictor = BimodalPredictor(256)
+        wrong = run_stream(predictor, biased_stream(500, 0.95))
+        assert wrong / 500 < 0.12
+
+    def test_fails_on_alternation(self):
+        # The classic bimodal pathology: TNTN... mispredicts heavily.
+        predictor = BimodalPredictor(256)
+        wrong = run_stream(predictor, alternating_stream(200))
+        assert wrong / 200 > 0.4
+
+
+class TestGshare:
+    def test_learns_alternation_via_history(self):
+        predictor = GsharePredictor(1024)
+        wrong = run_stream(predictor, alternating_stream(400))
+        assert wrong / 400 < 0.05
+
+    def test_learns_fixed_loop_exit(self):
+        predictor = GsharePredictor(65536)
+        wrong = run_stream(predictor, loop_stream(reps=100, trips=8))
+        assert wrong / 800 < 0.05
+
+    def test_learns_cross_branch_correlation(self):
+        # Second branch copies the first: history makes it deterministic.
+        predictor = GsharePredictor(4096, history_length=4)
+        import random
+
+        rng = random.Random(3)
+        wrong_second = 0
+        for _ in range(1000):
+            outcome = rng.random() < 0.5
+            predictor.predict(0x1000)
+            predictor.update(0x1000, outcome)
+            predictor.predict(0x1004)
+            if not predictor.update(0x1004, outcome):
+                wrong_second += 1
+        assert wrong_second / 1000 < 0.05
+
+    def test_history_length_cap(self):
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(1024, history_length=11)
+
+    def test_storage_accounting(self):
+        predictor = GsharePredictor(1024, history_length=10)
+        assert predictor.storage_bits == 2048 + 10
+
+
+class TestBiMode:
+    def test_learns_constant_branches_of_both_biases(self):
+        predictor = BiModePredictor(1024)
+        stream = []
+        for i in range(300):
+            stream.append((0x1000, True))
+            stream.append((0x2000, False))
+        wrong = run_stream(predictor, stream)
+        assert wrong / 600 < 0.05
+
+    def test_better_than_shared_table_on_opposite_bias_aliasing(self):
+        # Two branches with opposite bias that alias in a tiny gshare
+        # thrash it; Bi-Mode's separation keeps them apart.
+        small_gshare = GsharePredictor(64, history_length=0)
+        bimode = BiModePredictor(64, choice_entries=256, history_length=0)
+        # 0x1000 and 0x40 XOR-fold to the same 6-bit direction-table index
+        # but keep distinct choice-table entries.
+        pc_taken, pc_not_taken = 0x1000, 0x40
+        assert small_gshare.index(pc_taken) == small_gshare.index(pc_not_taken)
+        stream = []
+        for i in range(400):
+            stream.append((pc_taken, True))
+            stream.append((pc_not_taken, False))
+        gshare_wrong = run_stream(small_gshare, stream)
+        bimode_wrong = run_stream(bimode, stream)
+        assert bimode_wrong < gshare_wrong
+
+    def test_storage_counts_three_tables(self):
+        predictor = BiModePredictor(256, choice_entries=256)
+        assert predictor.storage_bits >= 3 * 512
+
+
+class TestSkewing:
+    def test_banks_use_different_indices(self):
+        indices = {
+            bank: skew_index(0x1234, 0b1011, 4, 10, bank) for bank in range(3)
+        }
+        assert len(set(indices.values())) >= 2
+
+    def test_index_in_range(self):
+        for bank in range(3):
+            for pc in (0x1000, 0xFFFC, 0x40_0000):
+                assert 0 <= skew_index(pc, 0x5A, 8, 12, bank) < 4096
+
+
+class TestEGskew:
+    def test_majority_learns_biased_branch(self):
+        predictor = EGskewPredictor(1024)
+        wrong = run_stream(predictor, biased_stream(600, 0.97))
+        assert wrong / 600 < 0.10
+
+    def test_learns_alternation(self):
+        predictor = EGskewPredictor(4096)
+        wrong = run_stream(predictor, alternating_stream(400))
+        assert wrong / 400 < 0.10
+
+
+class Test2BcGskew:
+    def test_learns_biased_branch_fast_via_bimodal_bank(self):
+        predictor = TwoBcGskewPredictor(1024)
+        wrong = run_stream(predictor, [(0x1000, True)] * 100)
+        assert wrong <= 4
+
+    def test_learns_history_pattern(self):
+        predictor = TwoBcGskewPredictor(4096)
+        wrong = run_stream(predictor, alternating_stream(500))
+        assert wrong / 500 < 0.10
+
+    def test_storage_counts_four_banks(self):
+        predictor = TwoBcGskewPredictor(1024)
+        assert predictor.storage_bits >= 4 * 2048
+
+
+class TestLocal:
+    def test_learns_private_pattern(self):
+        predictor = LocalPredictor(history_entries=64, history_length=8)
+        # Period-3 pattern: local history identifies the phase exactly.
+        pattern = [True, True, False]
+        stream = [(0x1000, pattern[i % 3]) for i in range(600)]
+        wrong = run_stream(predictor, stream)
+        assert wrong / 600 < 0.05
+
+    def test_interleaved_private_patterns(self):
+        # Global-history predictors struggle here; local nails it.
+        predictor = LocalPredictor(history_entries=64, history_length=10)
+        stream = []
+        for i in range(400):
+            stream.append((0x1000, i % 2 == 0))
+            stream.append((0x2000, i % 3 == 0))
+        wrong = run_stream(predictor, stream)
+        assert wrong / 800 < 0.10
+
+
+class TestTournament:
+    def test_learns_both_pattern_kinds(self):
+        predictor = TournamentPredictor()
+        stream = []
+        for i in range(500):
+            stream.append((0x1000, i % 2 == 0))  # local-friendly
+            stream.append((0x2000, True))  # trivially biased
+        wrong = run_stream(predictor, stream)
+        assert wrong / 1000 < 0.10
+
+    def test_storage_counts_all_structures(self):
+        predictor = TournamentPredictor(
+            global_entries=4096,
+            local_histories=1024,
+            local_history_length=10,
+            local_pht_entries=1024,
+            chooser_entries=4096,
+        )
+        expected_minimum = 4096 * 2 + 1024 * 10 + 1024 * 3 + 4096 * 2
+        assert predictor.storage_bits >= expected_minimum

@@ -1,0 +1,113 @@
+"""Tests for the FO4 clock, SRAM delay model and Table 2 latencies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.timing.fo4 import PAPER_CLOCK, ClockModel
+from repro.timing.latency import (
+    QUICK_PREDICTOR_CYCLES,
+    QUICK_PREDICTOR_ENTRIES,
+    gshare_pht_latency,
+    gskew_latency,
+    multicomponent_latency,
+    perceptron_latency,
+    predictor_latency,
+    table2,
+)
+from repro.timing.sram import SramArray, pht_array, table_access_cycles
+
+
+class TestClock:
+    def test_paper_clock_frequency(self):
+        # 8 FO4 at 100nm should land near the paper's 3.5 GHz.
+        assert 3.0 <= PAPER_CLOCK.frequency_ghz <= 4.0
+
+    def test_cycles_for_fo4(self):
+        assert PAPER_CLOCK.cycles_for_fo4(0.0) == 1
+        assert PAPER_CLOCK.cycles_for_fo4(8.0) == 1
+        assert PAPER_CLOCK.cycles_for_fo4(8.1) == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            ClockModel(period_fo4=0)
+        with pytest.raises(ConfigurationError):
+            PAPER_CLOCK.cycles_for_fo4(-1)
+
+
+class TestSram:
+    def test_single_cycle_limit_is_1k_entries(self):
+        """The paper's anchor (Jiménez et al. [7]): the largest PHT
+        accessible in one 8 FO4 cycle has 1K entries."""
+        assert table_access_cycles(1024) == 1
+        assert table_access_cycles(2048) == 2
+
+    def test_monotone_in_entries(self):
+        cycles = [table_access_cycles(1 << k) for k in range(10, 22)]
+        assert cycles == sorted(cycles)
+
+    def test_table2_anchor_512k(self):
+        assert table_access_cycles(512 * 1024) == 11
+
+    def test_width_capped_for_wide_arrays(self):
+        narrow = SramArray(rows=4096, bits_per_row=2).access_delay_fo4()
+        wide = SramArray(rows=4096, bits_per_row=512).access_delay_fo4()
+        very_wide = SramArray(rows=4096, bits_per_row=2048).access_delay_fo4()
+        assert narrow < wide
+        assert wide == very_wide  # column banking caps width cost
+
+    def test_rejects_bad_arrays(self):
+        with pytest.raises(ConfigurationError):
+            SramArray(rows=0, bits_per_row=2)
+        with pytest.raises(ConfigurationError):
+            pht_array(4)
+
+    @given(st.integers(min_value=3, max_value=21))
+    def test_delay_positive(self, log_entries):
+        assert pht_array(1 << log_entries).access_delay_fo4() > 0
+
+
+class TestLatencies:
+    def test_table2_shape(self):
+        rows = table2()
+        assert len(rows) == 6
+        mc = [row.multicomponent_cycles for row in rows]
+        gskew = [row.gskew_cycles for row in rows]
+        perc = [row.perceptron_cycles for row in rows]
+        assert mc == sorted(mc) and gskew == sorted(gskew) and perc == sorted(perc)
+        # Paper anchors: small budgets ~2-3 cycles, 512KB-class ~9-11.
+        assert 2 <= mc[0] <= 3
+        assert 9 <= gskew[-1] <= 12
+        assert 7 <= perc[-1] <= 10
+
+    def test_gshare_fast_delivered_latency_is_one(self):
+        assert predictor_latency("gshare_fast", 512 * 1024) == 1
+
+    def test_internal_pht_latency_grows(self):
+        assert gshare_pht_latency(16 * 1024) < gshare_pht_latency(512 * 1024)
+
+    def test_perceptron_pays_compute_cycle(self):
+        # At equal budget the perceptron adds a cycle of dot-product logic
+        # on top of a table access of similar capacity.
+        assert perceptron_latency(16 * 1024) >= 2
+
+    def test_family_dispatch(self):
+        for family in ("gshare", "bimodal", "bimode", "2bcgskew", "multicomponent", "perceptron"):
+            assert predictor_latency(family, 64 * 1024) >= 1
+        with pytest.raises(ConfigurationError):
+            predictor_latency("unknown", 64 * 1024)
+
+    def test_quick_predictor_constants(self):
+        assert QUICK_PREDICTOR_ENTRIES == 2048
+        assert QUICK_PREDICTOR_CYCLES == 1
+
+    def test_multicomponent_latency_monotone(self):
+        values = [multicomponent_latency(kb * 1024) for kb in (18, 36, 72, 143, 286, 572)]
+        assert values == sorted(values)
+
+    def test_gskew_latency_monotone(self):
+        values = [gskew_latency(kb * 1024) for kb in (16, 32, 64, 128, 256, 512)]
+        assert values == sorted(values)

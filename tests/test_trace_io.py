@@ -1,0 +1,138 @@
+"""Tests for trace serialization round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.harness.experiment import measure_accuracy
+from repro.predictors.gshare import GsharePredictor
+from repro.workloads.io import save_trace, load_trace
+from repro.workloads.trace import Block, BranchKind, Trace
+
+
+def traces_equal(a: Trace, b: Trace) -> bool:
+    if a.name != b.name or len(a) != len(b):
+        return False
+    return all(x == y for x, y in zip(a.blocks, b.blocks))
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "gcc_trace")
+        assert path.suffix == ".npz"
+        loaded = load_trace(path)
+        assert traces_equal(small_trace, loaded)
+        loaded.validate()
+
+    def test_predictions_identical_on_loaded_trace(self, small_trace, tmp_path):
+        """The reloaded trace must drive predictors to bit-identical
+        results — the property that makes serialized traces pinnable."""
+        loaded = load_trace(save_trace(small_trace, tmp_path / "t"))
+        original = measure_accuracy(GsharePredictor(16384), small_trace)
+        replayed = measure_accuracy(GsharePredictor(16384), loaded)
+        assert original.mispredictions == replayed.mispredictions
+        assert original.branches == replayed.branches
+
+    def test_empty_memory_blocks(self, tmp_path):
+        trace = Trace(
+            name="tiny",
+            blocks=[
+                Block(pc=0x1000, instructions=3),
+                Block(
+                    pc=0x100C,
+                    instructions=1,
+                    branch_kind=BranchKind.CONDITIONAL,
+                    branch_pc=0x100C,
+                    taken=False,
+                    target=0x2000,
+                ),
+            ],
+        )
+        loaded = load_trace(save_trace(trace, tmp_path / "tiny"))
+        assert traces_equal(trace, loaded)
+
+    def test_memory_addresses_preserved(self, tmp_path):
+        trace = Trace(
+            name="mem",
+            blocks=[
+                Block(pc=0x1000, instructions=4, loads=(0xA000, 0xB000), stores=(0xC000,)),
+                Block(pc=0x1010, instructions=2, loads=(0xD000,)),
+            ],
+        )
+        loaded = load_trace(save_trace(trace, tmp_path / "mem"))
+        assert loaded.blocks[0].loads == (0xA000, 0xB000)
+        assert loaded.blocks[0].stores == (0xC000,)
+        assert loaded.blocks[1].loads == (0xD000,)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_malformed_file(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_future_version_rejected(self, tmp_path, small_trace):
+        import numpy as np
+
+        path = save_trace(small_trace, tmp_path / "v")
+        with np.load(path) as data:
+            arrays = {key: data[key] for key in data.files}
+        arrays["version"] = np.int64(99)
+        np.savez(path, **arrays)
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestTextImport:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "branches.txt"
+        path.write_text(text)
+        return path
+
+    def test_parses_common_formats(self, tmp_path):
+        from repro.workloads.io import read_branch_trace
+
+        path = self._write(
+            tmp_path,
+            "# a comment\n"
+            "0x401000 T\n"
+            "0x401000 N\n"
+            "4198400 1\n"
+            "0x401010 taken\n"
+            "\n"
+            "0x401010 not-taken\n",
+        )
+        trace = read_branch_trace(path)
+        outcomes = [taken for _, taken in trace.conditional_branches()]
+        assert outcomes == [True, False, True, True, False]
+        assert trace.name == "branches"
+
+    def test_drives_predictors(self, tmp_path):
+        from repro.predictors.gshare import GsharePredictor
+        from repro.workloads.io import read_branch_trace
+
+        lines = "\n".join(f"0x401000 {'T' if i % 2 == 0 else 'N'}" for i in range(200))
+        trace = read_branch_trace(self._write(tmp_path, lines))
+        result = measure_accuracy(GsharePredictor(1024), trace)
+        assert result.branches == 200
+        assert result.misprediction_rate < 0.10  # TNTN is learnable
+
+    def test_rejects_garbage(self, tmp_path):
+        from repro.workloads.io import read_branch_trace
+
+        with pytest.raises(TraceError):
+            read_branch_trace(self._write(tmp_path, "0x1000 maybe\n"))
+        with pytest.raises(TraceError):
+            read_branch_trace(self._write(tmp_path, "justonefield\n"))
+        with pytest.raises(TraceError):
+            read_branch_trace(self._write(tmp_path, "# only comments\n"))
+        with pytest.raises(TraceError):
+            read_branch_trace(tmp_path / "missing.txt")
