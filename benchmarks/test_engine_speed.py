@@ -1,0 +1,77 @@
+"""Scalar vs batch engine throughput on a fixed gshare workload.
+
+Gated behind pytest-benchmark's opt-in flag so the figure-regeneration
+suite stays unaffected::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_speed.py --benchmark-enable
+
+The comparison pins the tentpole performance claim: at the default
+REPRO_SCALE the batch engine evaluates a 64KB-budget gshare over the gcc
+trace at >= 10x the scalar protocol's speed while producing bit-identical
+results (the differential suite proves the latter; this file measures the
+former).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.harness.experiment import measure_accuracy
+from repro.harness.scale import accuracy_instructions
+from repro.predictors.gshare import GsharePredictor
+from repro.workloads.spec2000 import spec2000_trace
+
+#: 2**18 two-bit counters = 64KB — the paper's mid-budget gshare.
+ENTRIES = 262_144
+
+
+@pytest.fixture(autouse=True)
+def require_benchmarks(request):
+    if not request.config.getoption("--benchmark-enable"):
+        pytest.skip("engine speed suite runs only with --benchmark-enable")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    trace = spec2000_trace("gcc", instructions=accuracy_instructions())
+    trace.branch_arrays()  # pay the array extraction outside the timings
+    return trace
+
+
+def test_scalar_gshare_throughput(benchmark, trace):
+    result = benchmark(
+        lambda: measure_accuracy(GsharePredictor(ENTRIES), trace, engine="scalar")
+    )
+    assert result.branches > 0
+
+
+def test_batch_gshare_throughput(benchmark, trace):
+    result = benchmark(
+        lambda: measure_accuracy(GsharePredictor(ENTRIES), trace, engine="batch")
+    )
+    assert result.branches > 0
+
+
+def test_batch_speedup_at_least_10x(trace):
+    """Head-to-head: best-of-N wall time, identical results required."""
+
+    def best_of(n, engine):
+        best = float("inf")
+        result = None
+        for _ in range(n):
+            start = time.perf_counter()
+            result = measure_accuracy(GsharePredictor(ENTRIES), trace, engine=engine)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    scalar_time, scalar_result = best_of(3, "scalar")
+    batch_time, batch_result = best_of(5, "batch")
+    assert scalar_result == batch_result
+    speedup = scalar_time / batch_time
+    print(
+        f"\nscalar {scalar_time * 1e3:.1f}ms  batch {batch_time * 1e3:.1f}ms  "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 10.0

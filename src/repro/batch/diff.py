@@ -1,0 +1,146 @@
+"""Differential testing of the batch engine against the scalar reference.
+
+The scalar ``predict``/``update`` protocol is the specification; the batch
+engine is an optimization.  :func:`diff_engines` drives both from identical
+fresh predictors over the same branch stream and compares
+
+* the **per-branch prediction stream** (every branch, not aggregates),
+* the **final state** of every named counter table,
+* the final **history register** value, and
+* the running **stats** counters,
+
+reporting the first diverging branch when they disagree.  This is the
+machinery behind ``tests/test_differential_batch.py`` and is importable for
+ad-hoc investigation of any future kernel.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.batch.engine import evaluate_stream
+from repro.predictors.base import BranchPredictor
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one scalar-vs-batch comparison."""
+
+    predictor: str
+    branches: int
+    first_divergence: int | None = None
+    scalar_prediction: bool | None = None
+    batch_prediction: bool | None = None
+    table_mismatches: list[str] = field(default_factory=list)
+    history_mismatch: str | None = None
+    stats_mismatch: str | None = None
+
+    @property
+    def matches(self) -> bool:
+        """True when streams and final state are bit-exact."""
+        return (
+            self.first_divergence is None
+            and not self.table_mismatches
+            and self.history_mismatch is None
+            and self.stats_mismatch is None
+        )
+
+    def describe(self) -> str:
+        """Human-readable mismatch summary (empty marker when exact)."""
+        if self.matches:
+            return f"{self.predictor}: bit-exact over {self.branches} branches"
+        lines = [f"{self.predictor}: DIVERGED over {self.branches} branches"]
+        if self.first_divergence is not None:
+            lines.append(
+                f"  first prediction mismatch at branch {self.first_divergence}: "
+                f"scalar={self.scalar_prediction} batch={self.batch_prediction}"
+            )
+        lines.extend(f"  table {entry}" for entry in self.table_mismatches)
+        if self.history_mismatch:
+            lines.append(f"  history {self.history_mismatch}")
+        if self.stats_mismatch:
+            lines.append(f"  stats {self.stats_mismatch}")
+        return "\n".join(lines)
+
+
+def run_scalar(
+    predictor: BranchPredictor, pcs: Sequence[int], takens: Sequence[bool]
+) -> np.ndarray:
+    """Reference replay: the scalar protocol, capturing every prediction."""
+    predictions = np.empty(len(pcs), dtype=bool)
+    for position, (pc, taken) in enumerate(zip(pcs, takens)):
+        predictions[position] = predictor.predict(int(pc))
+        predictor.update(int(pc), bool(taken))
+    return predictions
+
+
+def _state_snapshot(predictor: BranchPredictor) -> dict:
+    tables = {name: table.snapshot() for name, table in predictor.tables().items()}
+    history = getattr(predictor, "history", None)
+    queue = getattr(predictor, "_deferred_updates", None)
+    return {
+        "tables": tables,
+        "history": history.value if history is not None else None,
+        "pending": queue.snapshot() if queue is not None else None,
+        "stats": (predictor.stats.predictions, predictor.stats.mispredictions),
+    }
+
+
+def diff_engines(
+    make_predictor: Callable[[], BranchPredictor],
+    pcs: Sequence[int],
+    takens: Sequence[bool],
+    chunk_branches: int = 1 << 12,
+) -> DiffReport:
+    """Compare scalar and batch evaluation of identically-built predictors.
+
+    ``make_predictor`` must build a fresh, deterministic instance per call;
+    the stream is replayed once through each engine.
+    """
+    pcs = np.asarray(pcs, dtype=np.int64)
+    takens = np.asarray(takens, dtype=bool)
+
+    scalar = make_predictor()
+    scalar_predictions = run_scalar(scalar, pcs, takens)
+    scalar_state = _state_snapshot(scalar)
+
+    batch = make_predictor()
+    batch_result = evaluate_stream(batch, pcs, takens, chunk_branches=chunk_branches)
+    batch_state = _state_snapshot(batch)
+
+    report = DiffReport(predictor=scalar.name, branches=len(pcs))
+
+    diverging = np.nonzero(scalar_predictions != batch_result.predictions)[0]
+    if len(diverging):
+        first = int(diverging[0])
+        report.first_divergence = first
+        report.scalar_prediction = bool(scalar_predictions[first])
+        report.batch_prediction = bool(batch_result.predictions[first])
+
+    for name, scalar_table in scalar_state["tables"].items():
+        batch_table = batch_state["tables"][name]
+        if not np.array_equal(scalar_table, batch_table):
+            cells = np.nonzero(scalar_table != batch_table)[0]
+            report.table_mismatches.append(
+                f"{name!r}: {len(cells)} differing cells, first at {int(cells[0])} "
+                f"(scalar={int(scalar_table[cells[0]])}, "
+                f"batch={int(batch_table[cells[0]])})"
+            )
+
+    if scalar_state["history"] != batch_state["history"]:
+        report.history_mismatch = (
+            f"scalar={scalar_state['history']:#x} batch={batch_state['history']:#x}"
+        )
+    if scalar_state["pending"] != batch_state["pending"]:
+        report.table_mismatches.append(
+            f"pending updates: scalar={scalar_state['pending']} "
+            f"batch={batch_state['pending']}"
+        )
+    if scalar_state["stats"] != batch_state["stats"]:
+        report.stats_mismatch = (
+            f"scalar={scalar_state['stats']} batch={batch_state['stats']}"
+        )
+    return report

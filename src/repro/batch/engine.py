@@ -1,0 +1,382 @@
+"""The batch evaluation engine: whole-trace predictor runs in array code.
+
+:func:`evaluate_stream` replays a ``(pc, taken)`` branch stream through a
+predictor using chunked NumPy kernels and returns the full per-branch
+prediction stream.  The contract is **bit-exactness** with the scalar
+``predict``/``update`` protocol: identical predictions for every branch and
+identical final predictor state (tables, history register, stats, pending
+delayed updates).  ``tests/test_differential_batch.py`` enforces the
+contract with :mod:`repro.batch.diff`.
+
+How each family is batched
+--------------------------
+
+Trace-driven table predictors share one crucial property: their table
+*indices* depend only on the PC and the true outcome history, both known
+for the whole trace up front.  Only the counter contents carry a sequential
+dependence, and each counter cell evolves independently along its own
+update subsequence — which :class:`repro.batch.kernels.CounterScan` replays
+loop-free.
+
+* **bimodal / gshare / gshare.fast** — one PHT, one read + one write per
+  branch on the same cell: vectorized index precompute + one scan per
+  chunk.  gshare.fast's non-speculative update delay is an event-time
+  shift (a write issued by branch ``t`` becomes visible at ``t + delay``),
+  handled exactly by the scan's delayed sampling.
+* **Bi-Mode** — the choice table steers which direction table trains, and
+  the choice partial-update depends on the steered table's prediction, so
+  the three tables are mutually sequentially coupled and no per-cell scan
+  exists.  The batch kernel vectorizes everything precomputable (history
+  packing, both index streams) and runs the residual counter coupling in a
+  tight plain-int loop — exact, and still well ahead of the scalar object
+  protocol.
+
+IPC (cycle-level) simulation intentionally stays on the scalar model; the
+batch engine covers functional accuracy only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batch.kernels import CounterScan, hash_pcs, pack_outcomes, packed_history
+from repro.common.bits import mask
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.core.gshare_fast import PC_SELECT_BITS, GshareFastPredictor
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.workloads.trace import Trace
+
+#: Default branches per chunk: large enough to amortize kernel launches,
+#: small enough that every intermediate array stays cache-friendly.
+DEFAULT_CHUNK = 1 << 16
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Full per-branch outcome of one batch evaluation."""
+
+    predictor: str
+    predictions: np.ndarray  #: bool, one prediction per conditional branch
+    outcomes: np.ndarray  #: bool, the true directions
+
+    @property
+    def branches(self) -> int:
+        """Number of branches evaluated."""
+        return len(self.predictions)
+
+    @property
+    def mispredictions(self) -> int:
+        """Total wrong predictions over the stream."""
+        return int(np.count_nonzero(self.predictions != self.outcomes))
+
+    def mispredictions_after(self, warmup_branches: int) -> int:
+        """Wrong predictions, ignoring the first ``warmup_branches``."""
+        wrong = self.predictions[warmup_branches:] != self.outcomes[warmup_branches:]
+        return int(np.count_nonzero(wrong))
+
+
+# -- single-PHT families -------------------------------------------------------
+
+
+class _SingleTableKernel:
+    """Chunk loop shared by every one-read-one-write-per-branch family."""
+
+    #: Branches of delay between a branch's update issue and visibility.
+    delay = 0
+
+    def __init__(self, predictor: BranchPredictor) -> None:
+        self.predictor = predictor
+        self.table = predictor.table.snapshot()  # int16, the scan upcasts
+        self.max_value = predictor.table.max_value
+        self.threshold = predictor.table.threshold
+        self.history_length = 0
+
+    def indices(self, pcs: np.ndarray, history: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def run(self, pcs: np.ndarray, takens: np.ndarray, chunk: int) -> np.ndarray:
+        n = len(pcs)
+        predictions = np.empty(n, dtype=bool)
+        pend_cells = np.zeros(0, dtype=np.int64)
+        pend_times = np.zeros(0, dtype=np.int64)
+        pend_takens = np.zeros(0, dtype=bool)
+        length = self.history_length
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            cpcs = pcs[start:stop]
+            ctakens = takens[start:stop]
+            prefix = takens[max(0, start - length) : start] if length else None
+            history = packed_history(ctakens, length, prefix)
+            cells = self.indices(cpcs, history)
+            if self.delay == 0:
+                # Every branch reads the cell it writes, with the write
+                # immediately visible: the scan's before-states *are* the
+                # predictions — no sampling pass needed.
+                scan = CounterScan(cells, None, ctakens, self.table, self.max_value)
+                predictions[start:stop] = scan.states_before_writes() >= self.threshold
+                scan.commit()
+                continue
+            times = np.arange(start, stop, dtype=np.int64)
+            w_cells = np.concatenate([pend_cells, cells])
+            w_times = np.concatenate([pend_times, times])
+            w_takens = np.concatenate([pend_takens, ctakens])
+            scan = CounterScan(w_cells, w_times, w_takens, self.table, self.max_value)
+            state = scan.sample(cells, times, self.delay)
+            predictions[start:stop] = state >= self.threshold
+            visible_through = (stop - 1) - self.delay
+            scan.commit(visible_through)
+            keep = w_times > visible_through
+            pend_cells, pend_times, pend_takens = (
+                w_cells[keep],
+                w_times[keep],
+                w_takens[keep],
+            )
+        self._pending = list(zip(pend_cells.tolist(), (pend_takens != 0).tolist()))
+        return predictions
+
+    def writeback(self, takens: np.ndarray) -> None:
+        """Mirror the scalar run's side effects onto the predictor object."""
+        self.predictor.table.restore(self.table)
+        if self.history_length:
+            self.predictor.history.restore(
+                pack_outcomes(takens, self.predictor.history.length)
+            )
+
+
+class _BimodalKernel(_SingleTableKernel):
+    def __init__(self, predictor: BimodalPredictor) -> None:
+        super().__init__(predictor)
+        self.size_mask = predictor.table.size - 1
+
+    def indices(self, pcs: np.ndarray, history: np.ndarray) -> np.ndarray:
+        return (pcs >> 2) & self.size_mask
+
+
+class _GshareKernel(_SingleTableKernel):
+    def __init__(self, predictor: GsharePredictor) -> None:
+        super().__init__(predictor)
+        self.history_length = predictor.history.length
+        self.index_bits = predictor.index_bits
+
+    def indices(self, pcs: np.ndarray, history: np.ndarray) -> np.ndarray:
+        return (hash_pcs(pcs, self.index_bits) ^ history) & mask(self.index_bits)
+
+
+class _GshareFastKernel(_SingleTableKernel):
+    def __init__(self, predictor: GshareFastPredictor) -> None:
+        super().__init__(predictor)
+        self.history_length = predictor.history.length
+        self.index_bits = predictor.index_bits
+        self.buffer_bits = predictor.buffer_bits
+        self.staleness = predictor.staleness
+        self.delay = predictor.update_delay
+
+    def indices(self, pcs: np.ndarray, history: np.ndarray) -> np.ndarray:
+        high = (history >> self.staleness) & mask(self.index_bits - self.buffer_bits)
+        pc_bits = np.zeros_like(pcs)
+        select = (pcs >> 2) & mask(PC_SELECT_BITS)
+        # fold9 of the select bits down to the buffer width
+        width = self.buffer_bits
+        while np.any(select):
+            pc_bits ^= select & mask(width)
+            select >>= width
+        low = (pc_bits ^ history) & mask(width)
+        return (high << width) | low
+
+    def writeback(self, takens: np.ndarray) -> None:
+        super().writeback(takens)
+        # Reconstruct the delayed-update FIFO the scalar run would hold.
+        self.predictor._deferred_updates.restore(self._pending)
+
+
+# -- Bi-Mode -------------------------------------------------------------------
+
+
+class _BiModeKernel:
+    """Vectorized precompute + exact sequential counter core for Bi-Mode."""
+
+    def __init__(self, predictor: BiModePredictor) -> None:
+        self.predictor = predictor
+
+    def run(self, pcs: np.ndarray, takens: np.ndarray, chunk: int) -> np.ndarray:
+        predictor = self.predictor
+        n = len(pcs)
+        length = predictor.history.length
+        direction_bits = predictor.direction_index_bits
+        choice_mask = predictor.choice_table.size - 1
+        direction_threshold = predictor.taken_table.threshold
+        direction_max = predictor.taken_table.max_value
+        choice_threshold = predictor.choice_table.threshold
+        choice_max = predictor.choice_table.max_value
+
+        taken_tbl = predictor.taken_table.snapshot().tolist()
+        not_taken_tbl = predictor.not_taken_table.snapshot().tolist()
+        choice_tbl = predictor.choice_table.snapshot().tolist()
+
+        predictions = np.empty(n, dtype=bool)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            cpcs = pcs[start:stop]
+            ctakens = takens[start:stop]
+            prefix = takens[max(0, start - length) : start]
+            history = packed_history(ctakens, length, prefix)
+            d_idx = (hash_pcs(cpcs, direction_bits) ^ history) & mask(direction_bits)
+            c_idx = (cpcs >> 2) & choice_mask
+            out = self._replay(
+                d_idx.tolist(),
+                c_idx.tolist(),
+                ctakens.tolist(),
+                taken_tbl,
+                not_taken_tbl,
+                choice_tbl,
+                direction_threshold,
+                direction_max,
+                choice_threshold,
+                choice_max,
+            )
+            predictions[start:stop] = out
+        self._tables = (taken_tbl, not_taken_tbl, choice_tbl)
+        return predictions
+
+    @staticmethod
+    def _replay(
+        d_idx: list[int],
+        c_idx: list[int],
+        takens: list[bool],
+        taken_tbl: list[int],
+        not_taken_tbl: list[int],
+        choice_tbl: list[int],
+        direction_threshold: int,
+        direction_max: int,
+        choice_threshold: int,
+        choice_max: int,
+    ) -> list[bool]:
+        # The choice table steers which direction table speaks *and* trains,
+        # while its own partial update depends on that table's prediction —
+        # a cyclic dependence that rules out the per-cell scan, so the
+        # counter core stays a (plain-int, precomputed-index) loop.
+        predictions = []
+        for d, c, taken in zip(d_idx, c_idx, takens):
+            choice_value = choice_tbl[c]
+            choose_taken = choice_value >= choice_threshold
+            table = taken_tbl if choose_taken else not_taken_tbl
+            prediction = table[d] >= direction_threshold
+            predictions.append(prediction)
+            # Partial update: skip the choice counter when the selected
+            # direction table was right but disagreed with the choice.
+            if not (prediction == taken and choose_taken != taken):
+                if taken:
+                    if choice_value < choice_max:
+                        choice_tbl[c] = choice_value + 1
+                elif choice_value > 0:
+                    choice_tbl[c] = choice_value - 1
+            value = table[d]
+            if taken:
+                if value < direction_max:
+                    table[d] = value + 1
+            elif value > 0:
+                table[d] = value - 1
+        return predictions
+
+    def writeback(self, takens: np.ndarray) -> None:
+        predictor = self.predictor
+        taken_tbl, not_taken_tbl, choice_tbl = self._tables
+        dtype = predictor.taken_table.snapshot().dtype
+        predictor.taken_table.restore(np.asarray(taken_tbl, dtype=dtype))
+        predictor.not_taken_table.restore(np.asarray(not_taken_tbl, dtype=dtype))
+        predictor.choice_table.restore(np.asarray(choice_tbl, dtype=dtype))
+        predictor.history.restore(pack_outcomes(takens, predictor.history.length))
+
+
+# -- dispatch ------------------------------------------------------------------
+
+_KERNELS = {
+    BimodalPredictor: _BimodalKernel,
+    GsharePredictor: _GshareKernel,
+    GshareFastPredictor: _GshareFastKernel,
+    BiModePredictor: _BiModeKernel,
+}
+
+
+def supports_batch(predictor: BranchPredictor) -> bool:
+    """True when ``predictor`` has a bit-exact batch kernel.
+
+    Dispatch is on the exact type: a subclass may override indexing or
+    update rules the kernel would silently ignore.
+    """
+    return type(predictor) in _KERNELS
+
+
+def evaluate_stream(
+    predictor: BranchPredictor,
+    pcs: np.ndarray,
+    takens: np.ndarray,
+    chunk_branches: int = DEFAULT_CHUNK,
+    commit: bool = True,
+) -> BatchResult:
+    """Evaluate ``predictor`` over a branch stream with the batch engine.
+
+    With ``commit`` (the default) the predictor object afterwards holds
+    exactly the state a scalar ``predict``/``update`` replay would leave:
+    trained tables, advanced history, stats, pending delayed updates.
+    """
+    kernel_type = _KERNELS.get(type(predictor))
+    if kernel_type is None:
+        raise ConfigurationError(
+            f"no batch kernel for predictor type {type(predictor).__name__}; "
+            f"use the scalar engine"
+        )
+    if predictor._pending is not None:
+        raise ProtocolError(
+            f"{predictor.name}: batch evaluation with a scalar prediction in flight"
+        )
+    if chunk_branches < 1:
+        raise ConfigurationError(f"chunk_branches must be >= 1, got {chunk_branches}")
+    pcs = np.ascontiguousarray(pcs, dtype=np.int64)
+    takens = np.ascontiguousarray(takens, dtype=bool)
+    if pcs.shape != takens.shape:
+        raise ConfigurationError("pcs and takens must have matching shapes")
+    kernel = kernel_type(predictor)
+    predictions = kernel.run(pcs, takens, chunk_branches)
+    result = BatchResult(
+        predictor=predictor.name, predictions=predictions, outcomes=takens
+    )
+    if commit:
+        kernel.writeback(takens)
+        predictor.stats.predictions += result.branches
+        predictor.stats.mispredictions += result.mispredictions
+    return result
+
+
+def evaluate_trace(
+    predictor: BranchPredictor,
+    trace: Trace,
+    chunk_branches: int = DEFAULT_CHUNK,
+    commit: bool = True,
+) -> BatchResult:
+    """Evaluate ``predictor`` over a trace's conditional-branch stream."""
+    pcs, takens = trace.branch_arrays()
+    return evaluate_stream(predictor, pcs, takens, chunk_branches, commit)
+
+
+def measure_accuracy_batch(
+    predictor: BranchPredictor, trace: Trace, warmup_branches: int = 0
+):
+    """Batch twin of :func:`repro.harness.experiment.measure_accuracy`:
+    same result object, same predictor side effects, array-speed."""
+    from repro.harness.experiment import AccuracyResult
+
+    result = evaluate_trace(predictor, trace)
+    scored = max(result.branches - warmup_branches, 0)
+    return AccuracyResult(
+        predictor=predictor.name,
+        trace=trace.name,
+        branches=scored,
+        mispredictions=result.mispredictions_after(warmup_branches) if scored else 0,
+        storage_bytes=predictor.storage_bytes,
+    )

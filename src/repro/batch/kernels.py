@@ -1,0 +1,247 @@
+"""Array kernels underlying the batch prediction engine.
+
+Three building blocks turn a branch-at-a-time predictor into chunked array
+code:
+
+* :func:`packed_history` — the global-history register value *before* every
+  branch of a chunk, computed with ``length`` shifted-OR passes instead of a
+  per-branch shift (the history a trace-driven predictor sees is a pure
+  function of the preceding outcomes, which are all known up front);
+* :func:`fold_bits` — the vectorized XOR-fold used by every PC hash;
+* :class:`CounterScan` — an exact, loop-free replay of saturating-counter
+  updates grouped by table cell.
+
+The scan rests on a closure property: a saturating ±1 update is the map
+``s -> clip(s + k, lo, hi)`` (increment: ``k=+1, hi=max``; decrement:
+``k=-1, lo=0``), and the composition of two such maps is again one:
+
+    (newer ∘ older)(s) = clip(s + k_o + k_n,
+                              clip(lo_o + k_n, lo_n, hi_n),
+                              clip(hi_o + k_n, lo_n, hi_n))
+
+so the running counter state along each cell's update subsequence is a
+segmented prefix-composition of ``(k, lo, hi)`` triples — computed with a
+Hillis-Steele doubling scan in ``O(log chunk)`` vectorized passes, no
+Python-level per-branch loop.  The unused bound of each primitive map is a
+large sentinel, never ±inf, so everything stays in exact int64 arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bits import mask
+from repro.common.errors import ConfigurationError
+
+#: Sentinel bounds for the unused side of a primitive clamp map.  Large
+#: enough that no composition of |k| <= MAX_SCAN_EVENTS shifts reaches
+#: them, small enough that int32 arithmetic can never overflow.
+_NEG = -(1 << 28)
+_POS = 1 << 28
+
+#: Upper bound on events per scan, so sentinel arithmetic stays exact in
+#: int32 (the scan's working dtype).
+MAX_SCAN_EVENTS = 1 << 24
+
+#: Cell ids and event times are packed into one sortable int64 key:
+#: ``cell * _KEY_STRIDE + time``.  Event times are global branch positions,
+#: so traces are limited to ``_KEY_STRIDE`` branches — far beyond anything
+#: a pure-Python workload generator produces.
+_KEY_STRIDE = 1 << 38
+
+
+def packed_history(
+    takens: np.ndarray, length: int, prefix: np.ndarray | None = None
+) -> np.ndarray:
+    """History-register value *before* each branch of ``takens``.
+
+    Bit ``k-1`` of ``out[t]`` is the outcome of branch ``t - k`` — exactly
+    :class:`repro.common.history.HistoryRegister` after pushing outcomes
+    ``0..t-1``.  ``prefix`` supplies the outcomes that precede
+    ``takens[0]`` (oldest first) when evaluating a later chunk; branches
+    before the start of time count as not-taken, matching the register's
+    all-zero reset state.
+    """
+    takens = np.asarray(takens)
+    n = len(takens)
+    out = np.zeros(n, dtype=np.int64)
+    if length == 0 or n == 0:
+        return out
+    if prefix is None or len(prefix) == 0:
+        ext = takens.astype(np.int64)
+        p = 0
+    else:
+        prefix = np.asarray(prefix, dtype=np.int64)[-length:]
+        ext = np.concatenate([prefix, takens.astype(np.int64)])
+        p = len(prefix)
+    for k in range(1, length + 1):
+        first = max(0, k - p)
+        if first >= n:
+            break
+        out[first:] |= ext[p + first - k : p + n - k] << (k - 1)
+    return out
+
+
+def pack_outcomes(takens: np.ndarray, length: int) -> int:
+    """Final history-register value after pushing every outcome of
+    ``takens`` (most recent outcome in bit 0)."""
+    value = 0
+    for taken in np.asarray(takens)[-length:] if length else ():
+        value = ((value << 1) | int(taken)) & mask(length)
+    return value
+
+
+def fold_bits(values: np.ndarray, in_width: int, out_width: int) -> np.ndarray:
+    """Vectorized :func:`repro.common.bits.fold` over an int64 array."""
+    v = np.asarray(values, dtype=np.int64) & mask(in_width)
+    out = np.zeros_like(v)
+    if out_width <= 0:
+        if out_width == 0:
+            return out
+        raise ConfigurationError(f"fold out_width must be >= 0, got {out_width}")
+    m = mask(out_width)
+    while np.any(v):
+        out ^= v & m
+        v >>= out_width
+    return out
+
+
+def hash_pcs(pcs: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`repro.common.bits.hash_pc`."""
+    return fold_bits(np.asarray(pcs, dtype=np.int64) >> 2, 32, width)
+
+
+class CounterScan:
+    """Replay saturating-counter writes against a table, loop-free.
+
+    ``cells``/``times``/``takens`` describe the write stream in issue
+    order: branch at global position ``times[j]`` trains counter
+    ``cells[j]`` toward ``takens[j]``.  The constructor runs the segmented
+    prefix-composition scan; :meth:`sample` then reads the counter state
+    any branch observed and :meth:`commit` writes final states back into
+    the table array.
+    """
+
+    def __init__(
+        self,
+        cells: np.ndarray,
+        times: np.ndarray | None,
+        takens: np.ndarray,
+        table: np.ndarray,
+        max_value: int,
+    ) -> None:
+        cells = np.asarray(cells)
+        takens = np.asarray(takens, dtype=bool)
+        if len(cells) > MAX_SCAN_EVENTS:
+            raise ConfigurationError(
+                f"scan of {len(cells)} events exceeds MAX_SCAN_EVENTS; "
+                f"use a smaller chunk"
+            )
+        if times is not None:
+            times = np.asarray(times, dtype=np.int64)
+            if len(times) and int(times.max()) >= _KEY_STRIDE:
+                raise ConfigurationError("event time exceeds the key-packing stride")
+        # Group by cell, preserving issue order within a cell.  A composite
+        # unique key (cell, position) lets the default introsort do a
+        # stable grouping at a fraction of kind="stable"'s cost.
+        cells = cells.astype(np.int64)
+        position = np.arange(len(cells), dtype=np.int64)
+        self._order = np.argsort((cells << 24) | position)
+        self._cells = cells[self._order].astype(np.int32)
+        self._times = times[self._order] if times is not None else None
+        self._table = table
+        taken_sorted = takens[self._order]
+
+        # Primitive maps: increment = clip(s+1, -inf, max), decrement =
+        # clip(s-1, 0, +inf), with int32 sentinels for the unused bounds.
+        shift = np.where(taken_sorted, np.int32(1), np.int32(-1))
+        lo = np.where(taken_sorted, np.int32(_NEG), np.int32(0))
+        hi = np.where(taken_sorted, np.int32(max_value), np.int32(_POS))
+
+        n = len(shift)
+        if n:
+            boundary = np.empty(n, dtype=bool)
+            boundary[0] = True
+            np.not_equal(self._cells[1:], self._cells[:-1], out=boundary[1:])
+            offset = 1
+            while True:
+                # Sorted order makes "same cell" equivalent to "same segment".
+                idx = np.nonzero(self._cells[offset:] == self._cells[:-offset])[0]
+                if len(idx) == 0:
+                    break
+                idx += offset
+                src = idx - offset
+                # newer (at idx) composed after older (at src)
+                new_lo = np.minimum(np.maximum(lo[src] + shift[idx], lo[idx]), hi[idx])
+                new_hi = np.minimum(np.maximum(hi[src] + shift[idx], lo[idx]), hi[idx])
+                new_shift = shift[src] + shift[idx]
+                shift[idx] = new_shift
+                lo[idx] = new_lo
+                hi[idx] = new_hi
+                offset *= 2
+            init = table[self._cells]
+            # Inclusive prefix map applied to the cell's starting value =
+            # counter state *after* each write; *before* is its shift-by-one
+            # (the cell's starting value at each segment head).
+            self._after = np.minimum(np.maximum(init + shift, lo), hi)
+            before = np.empty(n, dtype=self._after.dtype)
+            before[0] = init[0]
+            before[1:] = self._after[:-1]
+            before[boundary] = init[boundary]
+            self._before = before
+        else:
+            self._after = np.zeros(0, dtype=np.int32)
+            self._before = np.zeros(0, dtype=np.int32)
+
+    def states_before_writes(self) -> np.ndarray:
+        """Counter state each write observed, in original issue order.
+
+        This is the predicted counter value when every branch reads and
+        writes the same cell with no update delay — the common fast path
+        that needs no searchsorted sampling.
+        """
+        out = np.empty(len(self._before), dtype=np.int64)
+        out[self._order] = self._before
+        return out
+
+    def sample(self, cells: np.ndarray, times: np.ndarray, delay: int = 0) -> np.ndarray:
+        """Counter state each read observes.
+
+        A read at global position ``t`` on cell ``c`` sees every write to
+        ``c`` issued at positions ``<= t - delay - 1`` — the scalar
+        semantics of an (optionally delayed) predict-then-update stream.
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        times = np.asarray(times, dtype=np.int64)
+        if len(self._cells) == 0:
+            return self._table[cells].astype(np.int64)
+        if self._times is None:
+            raise ConfigurationError("sampling requires event times at construction")
+        keys = self._cells.astype(np.int64) * _KEY_STRIDE + self._times
+        targets = cells * _KEY_STRIDE + (times - delay)
+        pos = np.searchsorted(keys, targets, side="left")
+        prev = np.clip(pos - 1, 0, len(keys) - 1)
+        has_write = (pos > 0) & (self._cells[prev] == cells)
+        return np.where(has_write, self._after[prev], self._table[cells].astype(np.int64))
+
+    def commit(self, through_time: int | None = None) -> None:
+        """Write back the state of every cell after its last write issued
+        at position ``<= through_time`` (later writes stay pending).
+        ``None`` commits every write."""
+        n = len(self._cells)
+        if n == 0:
+            return
+        is_last = np.empty(n, dtype=bool)
+        if through_time is None:
+            np.not_equal(self._cells[1:], self._cells[:-1], out=is_last[:-1])
+            is_last[-1] = True
+        else:
+            if self._times is None:
+                raise ConfigurationError(
+                    "partial commit requires event times at construction"
+                )
+            committed = self._times <= through_time
+            is_last[:-1] = (self._cells[1:] != self._cells[:-1]) | ~committed[1:]
+            is_last[-1] = True
+            is_last &= committed
+        self._table[self._cells[is_last]] = self._after[is_last]

@@ -49,3 +49,15 @@ class DelayedUpdateQueue:
         while self._queue:
             pending_index, outcome = self._queue.popleft()
             self._apply(pending_index, outcome)
+
+    def snapshot(self) -> list[tuple[int, bool]]:
+        """The pending (index, outcome) updates, oldest first."""
+        return list(self._queue)
+
+    def restore(self, pending: list[tuple[int, bool]]) -> None:
+        """Replace the queue contents (checkpoint/batch-writeback path)."""
+        if len(pending) > self.delay:
+            raise ConfigurationError(
+                f"cannot hold {len(pending)} pending updates with delay {self.delay}"
+            )
+        self._queue = deque(pending)

@@ -150,6 +150,10 @@ class GshareFastPredictor(BranchPredictor):
         # dominant term is the PHT itself.
         return self.table.storage_bits + self.history.length + buffer_bits
 
+    def tables(self) -> dict[str, CounterTable]:
+        """Named counter tables (checkpoint/diff tooling)."""
+        return {"pht": self.table}
+
     def index(self, pc: int) -> int:
         """The full PHT index for ``pc`` under the current history."""
         history = self.history.value

@@ -7,15 +7,18 @@ Usage::
     repro-figures all            # everything (slow at large REPRO_SCALE)
 
 Scale with ``REPRO_SCALE`` (trace length multiplier) and
-``REPRO_BENCHMARKS`` (subset of benchmark names).
+``REPRO_BENCHMARKS`` (subset of benchmark names); pick the accuracy
+evaluation engine with ``--engine`` (or ``REPRO_ENGINE``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.harness import figures
+from repro.harness.experiment import ENGINES
 
 
 def _print(text: str) -> None:
@@ -108,7 +111,18 @@ def main(argv: list[str] | None = None) -> int:
         choices=[*RUNNERS, "all"],
         help="which figures/tables to regenerate",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="accuracy evaluation engine (default: REPRO_ENGINE or 'auto'; "
+        "'batch' uses the vectorized engine, 'scalar' the reference loop)",
+    )
     args = parser.parse_args(argv)
+    if args.engine is not None:
+        # Runners take no arguments; the environment variable is the
+        # process-wide channel every sweep already consults.
+        os.environ["REPRO_ENGINE"] = args.engine
     targets = list(RUNNERS) if "all" in args.targets else args.targets
     for target in targets:
         RUNNERS[target]()

@@ -8,15 +8,67 @@ Two measurement modes mirror the paper's methodology:
 * :func:`measure_override` — an :class:`OverridingPredictor` pair on the
   same stream, additionally collecting the override (disagreement) rate the
   paper analyzes in Section 4.5.
+
+Accuracy measurements can run on either of two engines:
+
+* ``scalar`` — the branch-at-a-time reference loop below;
+* ``batch``  — the vectorized engine in :mod:`repro.batch`, bit-exact with
+  the scalar loop (proven by the differential test suite) and an order of
+  magnitude faster on table-based predictors.
+
+``engine="auto"`` (the default, overridable via the ``REPRO_ENGINE``
+environment variable) picks batch whenever the predictor has a batch
+kernel and falls back to scalar otherwise, so sweeps speed up without
+changing any result.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
+from repro.common.errors import ConfigurationError
 from repro.core.overriding import OverridingPredictor
 from repro.predictors.base import BranchPredictor
 from repro.workloads.trace import Trace
+
+#: Valid values for the ``engine`` argument / ``REPRO_ENGINE`` variable.
+ENGINES = ("auto", "scalar", "batch")
+
+
+def default_engine() -> str:
+    """The engine selected by ``REPRO_ENGINE`` (default ``auto``)."""
+    engine = os.environ.get("REPRO_ENGINE", "auto").strip().lower() or "auto"
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"REPRO_ENGINE must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
+
+
+def resolve_engine(predictor: BranchPredictor, engine: str | None = None) -> str:
+    """Resolve ``engine`` (or the environment default) to scalar/batch.
+
+    ``auto`` degrades gracefully to scalar for predictors without a batch
+    kernel; asking for ``batch`` explicitly on such a predictor is an error
+    rather than a silent slowdown.
+    """
+    if engine is None:
+        engine = default_engine()
+    if engine not in ENGINES:
+        raise ConfigurationError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "scalar":
+        return "scalar"
+    from repro.batch import supports_batch  # deferred: batch imports numpy
+
+    if supports_batch(predictor):
+        return "batch"
+    if engine == "batch":
+        raise ConfigurationError(
+            f"engine='batch' does not support {type(predictor).__name__}; "
+            f"use engine='auto' or 'scalar'"
+        )
+    return "scalar"
 
 
 @dataclass(frozen=True)
@@ -71,14 +123,25 @@ class OverrideResult:
 
 
 def measure_accuracy(
-    predictor: BranchPredictor, trace: Trace, warmup_branches: int = 0
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup_branches: int = 0,
+    engine: str | None = None,
 ) -> AccuracyResult:
     """Drive ``predictor`` over every conditional branch of ``trace``.
 
     ``warmup_branches`` branches at the head of the trace train the
     predictor without being scored (the paper skips initialization phases;
     our traces are steady-state, so the default is no warmup).
+
+    ``engine`` selects scalar or batch evaluation (``None`` defers to
+    ``REPRO_ENGINE``); both produce identical results on supported
+    predictors.
     """
+    if resolve_engine(predictor, engine) == "batch":
+        from repro.batch import measure_accuracy_batch
+
+        return measure_accuracy_batch(predictor, trace, warmup_branches=warmup_branches)
     branches = 0
     mispredictions = 0
     for position, (pc, taken) in enumerate(trace.conditional_branches()):

@@ -100,10 +100,16 @@ class PerBenchmarkFigure:
 # -- Figure 1 -----------------------------------------------------------------
 
 
-def figure1(budgets: list[int] | None = None, instructions: int | None = None) -> SeriesFigure:
+def figure1(
+    budgets: list[int] | None = None,
+    instructions: int | None = None,
+    engine: str | None = None,
+) -> SeriesFigure:
     """Arithmetic-mean misprediction rates vs hardware budget (Figure 1)."""
     budgets = budgets or FULL_BUDGETS
-    cells = accuracy_sweep(FIGURE1_FAMILIES, budgets, instructions=instructions)
+    cells = accuracy_sweep(
+        FIGURE1_FAMILIES, budgets, instructions=instructions, engine=engine
+    )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
         title="Figure 1: arithmetic mean misprediction rate (%) on SPECint2000",
@@ -183,10 +189,16 @@ def table2() -> str:
 # -- Figure 5 -----------------------------------------------------------------
 
 
-def figure5(budgets: list[int] | None = None, instructions: int | None = None) -> SeriesFigure:
+def figure5(
+    budgets: list[int] | None = None,
+    instructions: int | None = None,
+    engine: str | None = None,
+) -> SeriesFigure:
     """Mean misprediction rates of the four large predictors (Figure 5)."""
     budgets = budgets or LARGE_BUDGETS
-    cells = accuracy_sweep(FIGURE5_FAMILIES, budgets, instructions=instructions)
+    cells = accuracy_sweep(
+        FIGURE5_FAMILIES, budgets, instructions=instructions, engine=engine
+    )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
         title="Figure 5: arithmetic mean misprediction rate (%), large budgets",
@@ -200,12 +212,22 @@ def figure5(budgets: list[int] | None = None, instructions: int | None = None) -
 # -- Figure 6 -----------------------------------------------------------------
 
 
-def figure6(budget_bytes: int = MID_BUDGET, instructions: int | None = None) -> PerBenchmarkFigure:
+def figure6(
+    budget_bytes: int = MID_BUDGET,
+    instructions: int | None = None,
+    engine: str | None = None,
+) -> PerBenchmarkFigure:
     """Per-benchmark misprediction rates at the mid (53-64KB) budget
     (Figure 6)."""
     benchmarks = benchmark_names()
     families = ["multicomponent", "perceptron", "gshare_fast"]
-    cells = accuracy_sweep(families, [budget_bytes], benchmarks=benchmarks, instructions=instructions)
+    cells = accuracy_sweep(
+        families,
+        [budget_bytes],
+        benchmarks=benchmarks,
+        instructions=instructions,
+        engine=engine,
+    )
     figure = PerBenchmarkFigure(
         title=f"Figure 6: misprediction rates (%) at a {format_budget(budget_bytes)} budget",
         benchmarks=benchmarks,
@@ -272,7 +294,9 @@ def figure8(budget_bytes: int = MID_BUDGET, instructions: int | None = None) -> 
 
 
 def extension_pipelined_families(
-    budgets: list[int] | None = None, instructions: int | None = None
+    budgets: list[int] | None = None,
+    instructions: int | None = None,
+    engine: str | None = None,
 ) -> SeriesFigure:
     """The paper's future work, measured: gshare.fast vs bimode.fast.
 
@@ -280,7 +304,9 @@ def extension_pipelined_families(
     separation on top of the same prefetch-and-select pipeline.
     """
     budgets = budgets or LARGE_BUDGETS
-    cells = accuracy_sweep(["gshare_fast", "bimode_fast"], budgets, instructions=instructions)
+    cells = accuracy_sweep(
+        ["gshare_fast", "bimode_fast"], budgets, instructions=instructions, engine=engine
+    )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
         title="Extension: pipelined single-cycle families, mean misprediction (%)",

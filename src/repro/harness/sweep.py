@@ -60,8 +60,13 @@ def accuracy_sweep(
     budgets: list[int],
     benchmarks: list[str] | None = None,
     instructions: int | None = None,
+    engine: str | None = None,
 ) -> list[AccuracyCell]:
-    """Misprediction rate for every (family, budget, benchmark) cell."""
+    """Misprediction rate for every (family, budget, benchmark) cell.
+
+    ``engine`` selects the evaluation engine per cell (scalar reference or
+    the vectorized batch engine); ``None`` defers to ``REPRO_ENGINE``.
+    """
     if benchmarks is None:
         benchmarks = benchmark_names()
     if instructions is None:
@@ -73,7 +78,9 @@ def accuracy_sweep(
         for family in families:
             for budget in budgets:
                 predictor = build_family(family, budget)
-                result = measure_accuracy(predictor, trace, warmup_branches=warmup)
+                result = measure_accuracy(
+                    predictor, trace, warmup_branches=warmup, engine=engine
+                )
                 cells.append(
                     AccuracyCell(
                         benchmark=benchmark,

@@ -99,6 +99,16 @@ class BranchPredictor(ABC):
         self._update(pc, taken, pending.prediction, pending.context)
         return correct
 
+    def tables(self) -> dict[str, object]:
+        """Named counter tables, for checkpointing and diff tooling.
+
+        Subclasses with table state override this; the batch engine's
+        differential harness compares every named table bit-for-bit
+        against the scalar reference.  Keys are stable identifiers, values
+        are :class:`repro.common.counters.CounterTable` instances.
+        """
+        return {}
+
     def peek(self, pc: int) -> bool:
         """Prediction for ``pc`` without entering the in-flight protocol.
 

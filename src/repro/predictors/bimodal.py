@@ -27,6 +27,10 @@ class BimodalPredictor(BranchPredictor):
         """Hardware state consumed by the predictor, in bits."""
         return self.table.storage_bits
 
+    def tables(self) -> dict[str, CounterTable]:
+        """Named counter tables (checkpoint/diff tooling)."""
+        return {"pht": self.table}
+
     def index(self, pc: int) -> int:
         """Table index for the branch at ``pc``."""
         return (pc >> 2) & (self.table.size - 1)

@@ -54,6 +54,14 @@ class BiModePredictor(BranchPredictor):
             + self.history.length
         )
 
+    def tables(self) -> dict[str, CounterTable]:
+        """Named counter tables (checkpoint/diff tooling)."""
+        return {
+            "taken": self.taken_table,
+            "not_taken": self.not_taken_table,
+            "choice": self.choice_table,
+        }
+
     def _indices(self, pc: int) -> tuple[int, int]:
         direction = (hash_pc(pc, self.direction_index_bits) ^ self.history.value) & mask(
             self.direction_index_bits

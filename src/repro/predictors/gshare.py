@@ -38,6 +38,10 @@ class GsharePredictor(BranchPredictor):
         """Hardware state consumed by the predictor, in bits."""
         return self.table.storage_bits + self.history.length
 
+    def tables(self) -> dict[str, CounterTable]:
+        """Named counter tables (checkpoint/diff tooling)."""
+        return {"pht": self.table}
+
     def index(self, pc: int) -> int:
         """PHT index: folded PC XOR global history."""
         pc_bits = hash_pc(pc, self.index_bits)

@@ -106,6 +106,24 @@ class Trace:
             if block.has_conditional:
                 yield block.branch_pc, block.taken
 
+    def branch_arrays(self) -> tuple["np.ndarray", "np.ndarray"]:
+        """The conditional-branch stream as ``(pcs, takens)`` arrays.
+
+        The batch engine consumes this form; arrays are cached per trace
+        (keyed on block count) so repeated sweeps over the same cached
+        trace pay the extraction once.
+        """
+        import numpy as np
+
+        cached = getattr(self, "_branch_arrays", None)
+        if cached is not None and cached[0] == len(self.blocks):
+            return cached[1], cached[2]
+        pairs = list(self.conditional_branches())
+        pcs = np.fromiter((pc for pc, _ in pairs), dtype=np.int64, count=len(pairs))
+        takens = np.fromiter((t for _, t in pairs), dtype=bool, count=len(pairs))
+        self._branch_arrays = (len(self.blocks), pcs, takens)
+        return pcs, takens
+
     def static_branch_count(self) -> int:
         """Number of distinct conditional-branch sites in the trace."""
         return len({block.branch_pc for block in self.blocks if block.has_conditional})

@@ -1,0 +1,77 @@
+"""Regenerate the golden fixtures under ``tests/golden/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Fixtures:
+
+* ``branch_stream.csv`` — a recorded (pc, taken) conditional-branch stream
+  from the gcc stand-in workload at seed 1.  The differential batch tests
+  replay it through both engines; pinning the stream in a file keeps those
+  tests meaningful even if the workload generator changes.
+* ``table2.txt`` — the rendered Table 2 (predictor access latencies).  Pure
+  function of the SRAM delay model; any drift is a real behaviour change.
+* ``figure1_small.txt`` — a small, fixed-configuration Figure 1 run (two
+  benchmarks, two budgets, 30k instructions).  Pins the full accuracy
+  pipeline: workload generation, warmup policy, every Figure 1 predictor
+  family, aggregation and rendering.
+
+Regenerating is the *intentional* way to accept a behaviour change: rerun
+this script, eyeball the diff, and commit the new fixtures with the change
+that caused them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Fixed configuration for the small Figure 1 fixture (kept identical in
+#: tests/test_golden.py — change both together).
+FIGURE1_BENCHMARKS = "gcc,eon"
+FIGURE1_BUDGETS = [4 * 1024, 32 * 1024]
+FIGURE1_INSTRUCTIONS = 30_000
+
+#: The recorded stream: benchmark, seed, trace length and branch count.
+STREAM_BENCHMARK = "gcc"
+STREAM_SEED = 1
+STREAM_INSTRUCTIONS = 40_000
+STREAM_BRANCHES = 2_500
+
+
+def regen_branch_stream() -> None:
+    from repro.workloads.spec2000 import spec2000_trace
+
+    trace = spec2000_trace(
+        STREAM_BENCHMARK, instructions=STREAM_INSTRUCTIONS, seed=STREAM_SEED
+    )
+    lines = ["pc,taken"]
+    for pc, taken in list(trace.conditional_branches())[:STREAM_BRANCHES]:
+        lines.append(f"{pc:#x},{int(taken)}")
+    (GOLDEN_DIR / "branch_stream.csv").write_text("\n".join(lines) + "\n")
+    print(f"branch_stream.csv: {len(lines) - 1} branches")
+
+
+def regen_table2() -> None:
+    from repro.harness.figures import table2
+
+    (GOLDEN_DIR / "table2.txt").write_text(table2() + "\n")
+    print("table2.txt")
+
+
+def regen_figure1_small() -> None:
+    os.environ["REPRO_BENCHMARKS"] = FIGURE1_BENCHMARKS
+    from repro.harness.figures import figure1
+
+    figure = figure1(budgets=FIGURE1_BUDGETS, instructions=FIGURE1_INSTRUCTIONS)
+    (GOLDEN_DIR / "figure1_small.txt").write_text(figure.render() + "\n")
+    print("figure1_small.txt")
+
+
+if __name__ == "__main__":
+    regen_branch_stream()
+    regen_table2()
+    regen_figure1_small()

@@ -1,0 +1,190 @@
+"""Differential tests: the batch engine must be bit-exact vs the scalar
+reference.
+
+The scalar ``predict``/``update`` protocol is the specification.  For every
+predictor with a batch kernel these tests assert, via
+:func:`repro.batch.diff.diff_engines`, that the vectorized engine produces
+
+* the identical per-branch prediction stream,
+* the identical final contents of every counter table,
+* the identical history register and pending-update queue, and
+* the identical stats counters,
+
+on synthetic streams, real workload traces, a recorded golden stream
+(``tests/golden/branch_stream.csv``) and Hypothesis-generated random
+traces — across chunk sizes that do and do not divide the stream length.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import diff_engines, evaluate_stream, evaluate_trace, supports_batch
+from repro.common.errors import ProtocolError
+from repro.core.gshare_fast import GshareFastPredictor
+from repro.harness.experiment import measure_accuracy
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from tests.conftest import alternating_stream, biased_stream, loop_stream
+
+GOLDEN_STREAM = Path(__file__).parent / "golden" / "branch_stream.csv"
+
+#: One factory per batch kernel, plus shape variants that stress the
+#: index/counter/delay parameter space.
+FACTORIES = {
+    "bimodal": lambda: BimodalPredictor(512),
+    "bimodal_3bit": lambda: BimodalPredictor(256, counter_bits=3),
+    "gshare": lambda: GsharePredictor(1024),
+    "gshare_short_history": lambda: GsharePredictor(1024, history_length=4),
+    "gshare_fast": lambda: GshareFastPredictor(entries=4096, pht_latency=3),
+    "gshare_fast_delayed": lambda: GshareFastPredictor(
+        entries=1024, pht_latency=2, update_delay=16
+    ),
+    "bimode": lambda: BiModePredictor(512),
+}
+
+
+def _assert_exact(factory, stream, chunk_branches=1 << 12):
+    pcs = [pc for pc, _ in stream]
+    takens = [taken for _, taken in stream]
+    report = diff_engines(factory, pcs, takens, chunk_branches=chunk_branches)
+    assert report.matches, report.describe()
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_synthetic_streams_bit_exact(name):
+    factory = FACTORIES[name]
+    _assert_exact(factory, biased_stream(3000, 0.9))
+    _assert_exact(factory, alternating_stream(3000))
+    _assert_exact(factory, loop_stream(reps=60, trips=9))
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_interleaved_branches_bit_exact(name):
+    """Many static branches sharing tables — the aliasing-heavy case."""
+    rng = random.Random(13)
+    pool = [0x40_0000 + 4 * rng.randrange(800) for _ in range(96)]
+    stream = [(rng.choice(pool), rng.random() < 0.6) for _ in range(8000)]
+    _assert_exact(FACTORIES[name], stream)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_workload_trace_bit_exact(name, small_trace):
+    pcs, takens = small_trace.branch_arrays()
+    report = diff_engines(FACTORIES[name], pcs, takens)
+    assert report.matches, report.describe()
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_golden_stream_bit_exact(name):
+    """Replay the recorded stream pinned in tests/golden/branch_stream.csv."""
+    lines = GOLDEN_STREAM.read_text().splitlines()[1:]
+    stream = []
+    for line in lines:
+        pc, taken = line.split(",")
+        stream.append((int(pc, 16), taken == "1"))
+    assert len(stream) >= 1000
+    _assert_exact(FACTORIES[name], stream)
+
+
+@pytest.mark.parametrize("chunk", [1, 7, 64, 777, 100_000])
+def test_chunk_size_invariance(chunk):
+    """The chunk size is an implementation detail: any value, including ones
+    that straddle the stream unevenly, must give identical results."""
+    stream = loop_stream(reps=40, trips=7) + biased_stream(1500, 0.8)
+    _assert_exact(FACTORIES["gshare"], stream, chunk_branches=chunk)
+    _assert_exact(FACTORIES["gshare_fast_delayed"], stream, chunk_branches=chunk)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 31), st.booleans()), min_size=1, max_size=400
+    ),
+    chunk=st.sampled_from([3, 50, 4096]),
+    name=st.sampled_from(sorted(FACTORIES)),
+)
+def test_random_traces_bit_exact(data, chunk, name):
+    """Hypothesis-generated streams over a small PC pool (small pools
+    maximize table aliasing, the hardest case for the scan)."""
+    stream = [(0x40_0000 + 4 * slot, taken) for slot, taken in data]
+    _assert_exact(FACTORIES[name], stream, chunk_branches=chunk)
+
+
+def test_empty_and_single_branch_streams():
+    for factory in FACTORIES.values():
+        _assert_exact(factory, [])
+        _assert_exact(factory, [(0x40_0000, True)])
+
+
+def test_supports_batch_is_exact_type():
+    """Subclasses may override behaviour the kernels don't model; they must
+    fall back to the scalar engine rather than be silently mis-evaluated."""
+
+    class TweakedGshare(GsharePredictor):
+        pass
+
+    assert supports_batch(GsharePredictor(1024))
+    assert not supports_batch(TweakedGshare(1024))
+    assert not supports_batch(PerceptronPredictor(256, global_history=12))
+
+
+def test_batch_refuses_mid_prediction(small_trace):
+    """The scalar protocol's in-flight state cannot be represented by the
+    batch engine; evaluating mid-prediction is a protocol error."""
+    predictor = GsharePredictor(1024)
+    predictor.predict(0x40_0000)
+    pcs, takens = small_trace.branch_arrays()
+    with pytest.raises(ProtocolError):
+        evaluate_stream(predictor, pcs, takens)
+
+
+def test_batch_matches_scalar_measure_accuracy(small_trace):
+    """The harness-level entry points agree, including warmup handling."""
+    scalar = measure_accuracy(
+        GsharePredictor(4096), small_trace, warmup_branches=500, engine="scalar"
+    )
+    batch = measure_accuracy(
+        GsharePredictor(4096), small_trace, warmup_branches=500, engine="batch"
+    )
+    assert scalar == batch
+
+
+def test_evaluate_trace_counts(small_trace):
+    result = evaluate_trace(GsharePredictor(4096), small_trace)
+    assert len(result.predictions) == small_trace.conditional_branch_count
+    np.testing.assert_array_equal(
+        result.outcomes, small_trace.branch_arrays()[1]
+    )
+
+
+def test_batch_predictor_usable_after_writeback(small_trace):
+    """After a batch run the predictor must be a valid scalar predictor:
+    continuing with predict/update equals having run scalar throughout."""
+    pcs, takens = small_trace.branch_arrays()
+    half = len(pcs) // 2
+
+    hybrid = GshareFastPredictor(entries=1024, pht_latency=2, update_delay=8)
+    evaluate_stream(hybrid, pcs[:half], takens[:half])
+    for pc, taken in zip(pcs[half:], takens[half:]):
+        hybrid.predict(int(pc))
+        hybrid.update(int(pc), bool(taken))
+
+    scalar = GshareFastPredictor(entries=1024, pht_latency=2, update_delay=8)
+    for pc, taken in zip(pcs, takens):
+        scalar.predict(int(pc))
+        scalar.update(int(pc), bool(taken))
+
+    np.testing.assert_array_equal(
+        hybrid.table.snapshot(), scalar.table.snapshot()
+    )
+    assert hybrid.history.value == scalar.history.value
+    assert hybrid._deferred_updates.snapshot() == scalar._deferred_updates.snapshot()

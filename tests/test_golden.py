@@ -1,0 +1,68 @@
+"""Golden-file regression tests.
+
+Pins rendered experiment output against fixtures under ``tests/golden/``.
+Any intentional behaviour change (timing model, workload generator, warmup
+policy, predictor logic, rendering) must come with regenerated fixtures::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+and a diff of the fixture files reviewed alongside the code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.cli import main
+from tests.golden.regen import (
+    FIGURE1_BENCHMARKS,
+    FIGURE1_BUDGETS,
+    FIGURE1_INSTRUCTIONS,
+    STREAM_BENCHMARK,
+    STREAM_INSTRUCTIONS,
+    STREAM_SEED,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def read_fixture(name: str) -> str:
+    return (GOLDEN_DIR / name).read_text()
+
+
+def test_table2_matches_golden():
+    assert figures.table2() + "\n" == read_fixture("table2.txt")
+
+
+def test_table2_cli_matches_golden(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert read_fixture("table2.txt") in out
+
+
+def test_figure1_small_matches_golden(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCHMARKS", FIGURE1_BENCHMARKS)
+    figure = figures.figure1(
+        budgets=FIGURE1_BUDGETS, instructions=FIGURE1_INSTRUCTIONS
+    )
+    assert figure.render() + "\n" == read_fixture("figure1_small.txt")
+
+
+def test_golden_branch_stream_matches_workload():
+    """The recorded stream is reproducible from the generator at its pinned
+    seed — i.e. the workload layer hasn't drifted under the fixture."""
+    from repro.workloads.spec2000 import spec2000_trace
+
+    trace = spec2000_trace(
+        STREAM_BENCHMARK, instructions=STREAM_INSTRUCTIONS, seed=STREAM_SEED
+    )
+    lines = read_fixture("branch_stream.csv").splitlines()[1:]
+    recorded = [
+        (int(pc, 16), taken == "1")
+        for pc, taken in (line.split(",") for line in lines)
+    ]
+    live = list(trace.conditional_branches())[: len(recorded)]
+    assert live == recorded
