@@ -37,10 +37,12 @@ batch engine covers functional accuracy only.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.batch.kernels import CounterScan, hash_pcs, pack_outcomes, packed_history
 from repro.common.bits import mask
 from repro.common.errors import ConfigurationError, ProtocolError
@@ -54,6 +56,15 @@ from repro.workloads.trace import Trace
 #: Default branches per chunk: large enough to amortize kernel launches,
 #: small enough that every intermediate array stays cache-friendly.
 DEFAULT_CHUNK = 1 << 16
+
+
+def _record_chunk(kernel_name: str, branches: int, seconds: float) -> None:
+    """Per-chunk kernel accounting (called only when profiling)."""
+    registry = obs.registry()
+    registry.counter("batch.chunks").inc()
+    registry.counter("batch.chunk_branches").inc(branches)
+    registry.timer(f"batch.chunk.{kernel_name}").observe(seconds)
+    registry.histogram("batch.chunk_seconds").observe(seconds)
 
 
 @dataclass(frozen=True)
@@ -106,7 +117,9 @@ class _SingleTableKernel:
         pend_times = np.zeros(0, dtype=np.int64)
         pend_takens = np.zeros(0, dtype=bool)
         length = self.history_length
+        profiling = obs.enabled()
         for start in range(0, n, chunk):
+            chunk_started = time.perf_counter() if profiling else 0.0
             stop = min(start + chunk, n)
             cpcs = pcs[start:stop]
             ctakens = takens[start:stop]
@@ -120,22 +133,26 @@ class _SingleTableKernel:
                 scan = CounterScan(cells, None, ctakens, self.table, self.max_value)
                 predictions[start:stop] = scan.states_before_writes() >= self.threshold
                 scan.commit()
-                continue
-            times = np.arange(start, stop, dtype=np.int64)
-            w_cells = np.concatenate([pend_cells, cells])
-            w_times = np.concatenate([pend_times, times])
-            w_takens = np.concatenate([pend_takens, ctakens])
-            scan = CounterScan(w_cells, w_times, w_takens, self.table, self.max_value)
-            state = scan.sample(cells, times, self.delay)
-            predictions[start:stop] = state >= self.threshold
-            visible_through = (stop - 1) - self.delay
-            scan.commit(visible_through)
-            keep = w_times > visible_through
-            pend_cells, pend_times, pend_takens = (
-                w_cells[keep],
-                w_times[keep],
-                w_takens[keep],
-            )
+            else:
+                times = np.arange(start, stop, dtype=np.int64)
+                w_cells = np.concatenate([pend_cells, cells])
+                w_times = np.concatenate([pend_times, times])
+                w_takens = np.concatenate([pend_takens, ctakens])
+                scan = CounterScan(w_cells, w_times, w_takens, self.table, self.max_value)
+                state = scan.sample(cells, times, self.delay)
+                predictions[start:stop] = state >= self.threshold
+                visible_through = (stop - 1) - self.delay
+                scan.commit(visible_through)
+                keep = w_times > visible_through
+                pend_cells, pend_times, pend_takens = (
+                    w_cells[keep],
+                    w_times[keep],
+                    w_takens[keep],
+                )
+            if profiling:
+                _record_chunk(
+                    self.predictor.name, stop - start, time.perf_counter() - chunk_started
+                )
         self._pending = list(zip(pend_cells.tolist(), (pend_takens != 0).tolist()))
         return predictions
 
@@ -219,7 +236,9 @@ class _BiModeKernel:
         choice_tbl = predictor.choice_table.snapshot().tolist()
 
         predictions = np.empty(n, dtype=bool)
+        profiling = obs.enabled()
         for start in range(0, n, chunk):
+            chunk_started = time.perf_counter() if profiling else 0.0
             stop = min(start + chunk, n)
             cpcs = pcs[start:stop]
             ctakens = takens[start:stop]
@@ -240,6 +259,10 @@ class _BiModeKernel:
                 choice_max,
             )
             predictions[start:stop] = out
+            if profiling:
+                _record_chunk(
+                    predictor.name, stop - start, time.perf_counter() - chunk_started
+                )
         self._tables = (taken_tbl, not_taken_tbl, choice_tbl)
         return predictions
 
@@ -365,18 +388,37 @@ def evaluate_trace(
 
 
 def measure_accuracy_batch(
-    predictor: BranchPredictor, trace: Trace, warmup_branches: int = 0
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup_branches: int = 0,
+    attribution: bool = False,
 ):
     """Batch twin of :func:`repro.harness.experiment.measure_accuracy`:
-    same result object, same predictor side effects, array-speed."""
-    from repro.harness.experiment import AccuracyResult
+    same result object, same predictor side effects, array-speed.
 
-    result = evaluate_trace(predictor, trace)
+    ``attribution`` buckets scored mispredictions per static PC from the
+    prediction stream — identical to the scalar attribution path.
+    """
+    from repro.harness.experiment import AccuracyResult
+    from repro.obs.attribution import attribution_from_arrays
+
+    pcs, takens = trace.branch_arrays()
+    result = evaluate_stream(predictor, pcs, takens)
     scored = max(result.branches - warmup_branches, 0)
+    breakdown = None
+    if attribution:
+        scored_pcs = pcs[warmup_branches:] if scored else pcs[:0]
+        wrong = (
+            result.predictions[warmup_branches:] != result.outcomes[warmup_branches:]
+            if scored
+            else np.zeros(0, dtype=bool)
+        )
+        breakdown = attribution_from_arrays(predictor.name, trace.name, scored_pcs, wrong)
     return AccuracyResult(
         predictor=predictor.name,
         trace=trace.name,
         branches=scored,
         mispredictions=result.mispredictions_after(warmup_branches) if scored else 0,
         storage_bytes=predictor.storage_bytes,
+        attribution=breakdown,
     )

@@ -19,7 +19,7 @@ one cycle (Section 4.1.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.common.errors import ConfigurationError
 from repro.predictors.base import BranchPredictor
@@ -97,6 +97,7 @@ class OverridingPredictor:
         self.quick_latency = quick_latency
         self.slow_latency = slow_latency
         self.stats = OverridingStats()
+        self._recorded = OverridingStats()
 
     @property
     def name(self) -> str:
@@ -133,3 +134,26 @@ class OverridingPredictor:
         if quick_correct != final_correct:
             self.stats.overrides += 1
         return final_correct
+
+    def record_stats(self, registry) -> None:
+        """Publish agreement/disagreement/penalty counts into ``registry``.
+
+        Only the delta since the previous call is added, so the harness and
+        the cycle simulator can both flush the same wrapper without
+        double-counting.  Counters: ``override.predictions``,
+        ``override.agreements``, ``override.disagreements`` and
+        ``override.penalty_cycles`` (disagreements x the slow latency — the
+        bubble cycles the override mechanism costs, Section 4.5).
+        """
+        stats, last = self.stats, self._recorded
+        predictions = stats.predictions - last.predictions
+        disagreements = stats.overrides - last.overrides
+        if predictions == 0 and disagreements == 0:
+            return
+        registry.counter("override.predictions").inc(predictions)
+        registry.counter("override.agreements").inc(predictions - disagreements)
+        registry.counter("override.disagreements").inc(disagreements)
+        registry.counter("override.penalty_cycles").inc(
+            disagreements * self.override_penalty_cycles
+        )
+        self._recorded = replace(stats)

@@ -16,6 +16,7 @@ from repro.harness.scale import (
     accuracy_instructions,
     benchmark_names,
     ipc_instructions,
+    resolved_config,
     scale_factor,
     warmup_branches,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "measure_accuracy",
     "measure_override",
     "per_site_accuracy",
+    "resolved_config",
     "scale_factor",
     "warmup_branches",
 ]

@@ -4,11 +4,22 @@ Usage::
 
     repro-figures table2
     repro-figures figure1 figure5
-    repro-figures all            # everything (slow at large REPRO_SCALE)
+    repro-figures all                        # everything (slow at large REPRO_SCALE)
+    repro-figures all --output-dir results/  # write .txt + manifest sidecars
+    repro-figures table2 --profile           # metrics tables + manifest
 
 Scale with ``REPRO_SCALE`` (trace length multiplier) and
 ``REPRO_BENCHMARKS`` (subset of benchmark names); pick the accuracy
 evaluation engine with ``--engine`` (or ``REPRO_ENGINE``).
+
+Observability: ``--profile`` turns on the metrics registry, per-branch
+misprediction attribution and ``span.*`` phase timers, prints the registry
+after each target, and writes a run-manifest sidecar
+(``<target>.manifest.json`` — see DESIGN.md §8) that ``repro-stats`` can
+render and diff.  ``--verbose`` mirrors span open/close lines on stderr so
+long sweeps show progress; ``REPRO_LOG=<path>`` appends structured JSONL
+span events.  Without any of these flags the output is byte-identical to
+the uninstrumented tool.
 """
 
 from __future__ import annotations
@@ -16,72 +27,72 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
+from repro import obs
 from repro.harness import figures
 from repro.harness.experiment import ENGINES
+from repro.obs.manifest import build_manifest, write_manifest
 
 
-def _print(text: str) -> None:
-    print(text)
-    print()
+def run_figure1() -> str:
+    """Figure 1 (accuracy vs budget)."""
+    return figures.figure1().render()
 
 
-def run_figure1() -> None:
-    """Print Figure 1 (accuracy vs budget)."""
-    _print(figures.figure1().render())
+def run_figure2() -> str:
+    """Figure 2 (ideal vs overriding IPC)."""
+    return figures.figure2().render()
 
 
-def run_figure2() -> None:
-    """Print Figure 2 (ideal vs overriding IPC)."""
-    _print(figures.figure2().render())
+def run_table1() -> str:
+    """Table 1 (machine parameters)."""
+    return figures.table1()
 
 
-def run_table1() -> None:
-    """Print Table 1 (machine parameters)."""
-    _print(figures.table1())
+def run_table2() -> str:
+    """Table 2 (predictor latencies)."""
+    return figures.table2()
 
 
-def run_table2() -> None:
-    """Print Table 2 (predictor latencies)."""
-    _print(figures.table2())
+def run_figure5() -> str:
+    """Figure 5 (large-budget accuracy)."""
+    return figures.figure5().render()
 
 
-def run_figure5() -> None:
-    """Print Figure 5 (large-budget accuracy)."""
-    _print(figures.figure5().render())
+def run_figure6() -> str:
+    """Figure 6 (per-benchmark accuracy)."""
+    return figures.figure6().render()
 
 
-def run_figure6() -> None:
-    """Print Figure 6 (per-benchmark accuracy)."""
-    _print(figures.figure6().render())
-
-
-def run_figure7() -> None:
-    """Print Figure 7 (both IPC panels)."""
+def run_figure7() -> str:
+    """Figure 7 (both IPC panels)."""
     left, right = figures.figure7()
-    _print(left.render())
-    _print(right.render())
+    return left.render() + "\n\n" + right.render()
 
 
-def run_figure8() -> None:
-    """Print Figure 8 (per-benchmark IPC)."""
-    _print(figures.figure8().render())
+def run_figure8() -> str:
+    """Figure 8 (per-benchmark IPC)."""
+    return figures.figure8().render()
 
 
-def run_delayed_update() -> None:
-    """Print the Section 3.2 delayed-update study."""
-    _print(figures.delayed_update_study().render())
+def run_delayed_update() -> str:
+    """The Section 3.2 delayed-update study."""
+    return figures.delayed_update_study().render()
 
 
-def run_override() -> None:
-    """Print the Section 4.5 override-rate study."""
-    _print(figures.override_disagreement("perceptron").render())
-    _print(figures.override_disagreement("multicomponent").render())
+def run_override() -> str:
+    """The Section 4.5 override-rate study."""
+    return (
+        figures.override_disagreement("perceptron").render()
+        + "\n\n"
+        + figures.override_disagreement("multicomponent").render()
+    )
 
 
-def run_extension() -> None:
-    """Print the pipelined-families extension study."""
-    _print(figures.extension_pipelined_families().render())
+def run_extension() -> str:
+    """The pipelined-families extension study."""
+    return figures.extension_pipelined_families().render()
 
 
 RUNNERS = {
@@ -97,6 +108,31 @@ RUNNERS = {
     "override": run_override,
     "extension": run_extension,
 }
+
+
+def _run_target(target: str, output_dir: str | None, profile: bool) -> None:
+    """Regenerate one target; write sidecars / print stats as requested."""
+    if profile:
+        # Per-target metrics: each manifest describes exactly one run.
+        obs.reset()
+    started = time.perf_counter()
+    with obs.span(target):
+        text = RUNNERS[target]()
+    duration = time.perf_counter() - started
+    print(text)
+    print()
+    if output_dir is not None:
+        os.makedirs(output_dir, exist_ok=True)
+        with open(os.path.join(output_dir, f"{target}.txt"), "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+    if output_dir is not None or profile:
+        manifest = build_manifest(target, text, duration)
+        write_manifest(
+            manifest, os.path.join(output_dir or ".", f"{target}.manifest.json")
+        )
+    if profile:
+        print(obs.registry().render())
+        print()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -118,14 +154,44 @@ def main(argv: list[str] | None = None) -> int:
         help="accuracy evaluation engine (default: REPRO_ENGINE or 'auto'; "
         "'batch' uses the vectorized engine, 'scalar' the reference loop)",
     )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="write each target's rendered text to DIR/<target>.txt plus a "
+        "DIR/<target>.manifest.json sidecar (instead of shell redirection)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable observability: collect metrics + per-branch attribution, "
+        "print the registry after each target, and write a manifest sidecar "
+        "(to --output-dir, or the current directory)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="mirror span open/close progress lines on stderr",
+    )
     args = parser.parse_args(argv)
     if args.engine is not None:
         # Runners take no arguments; the environment variable is the
         # process-wide channel every sweep already consults.
         os.environ["REPRO_ENGINE"] = args.engine
     targets = list(RUNNERS) if "all" in args.targets else args.targets
-    for target in targets:
-        RUNNERS[target]()
+    prior_enabled = obs.enabled_override()
+    try:
+        if args.profile:
+            obs.set_enabled(True)
+        if args.verbose:
+            obs.set_verbose(True)
+        for target in targets:
+            _run_target(target, args.output_dir, args.profile)
+    finally:
+        if args.profile:
+            obs.set_enabled(prior_enabled)
+        if args.verbose:
+            obs.set_verbose(None)
     return 0
 
 

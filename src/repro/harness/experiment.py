@@ -25,10 +25,13 @@ changing any result.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.common.errors import ConfigurationError
 from repro.core.overriding import OverridingPredictor
+from repro.obs.attribution import Attribution, attribution_from_counts
 from repro.predictors.base import BranchPredictor
 from repro.workloads.trace import Trace
 
@@ -80,6 +83,8 @@ class AccuracyResult:
     branches: int
     mispredictions: int
     storage_bytes: int
+    #: Per-branch-site breakdown; collected only in attribution mode.
+    attribution: Attribution | None = None
 
     @property
     def misprediction_rate(self) -> float:
@@ -105,6 +110,8 @@ class OverrideResult:
     quick_mispredictions: int
     overrides: int
     storage_bytes: int
+    #: Per-branch-site breakdown of *final* mispredictions (attribution mode).
+    attribution: Attribution | None = None
 
     @property
     def misprediction_rate(self) -> float:
@@ -122,11 +129,22 @@ class OverrideResult:
         return self.overrides / self.branches
 
 
+def _publish_result(kind: str, result, storage_bytes: int) -> None:
+    """Record a finished measurement into the default metrics registry."""
+    registry = obs.registry()
+    registry.counter(f"{kind}.measurements").inc()
+    registry.counter(f"{kind}.branches").inc(result.branches)
+    if result.attribution is not None:
+        key = f"{result.predictor}[{storage_bytes}B]/{result.trace}"
+        registry.record_attribution(key, result.attribution.to_rows())
+
+
 def measure_accuracy(
     predictor: BranchPredictor,
     trace: Trace,
     warmup_branches: int = 0,
     engine: str | None = None,
+    attribution: bool | None = None,
 ) -> AccuracyResult:
     """Drive ``predictor`` over every conditional branch of ``trace``.
 
@@ -137,38 +155,94 @@ def measure_accuracy(
     ``engine`` selects scalar or batch evaluation (``None`` defers to
     ``REPRO_ENGINE``); both produce identical results on supported
     predictors.
+
+    ``attribution`` additionally buckets scored mispredictions per static
+    branch PC (``None`` collects exactly when observability is enabled).
+    The disabled path is the untouched reference loop — profiling never
+    taxes a plain measurement.
     """
+    if attribution is None:
+        attribution = obs.enabled()
+    profiling = obs.enabled()
+    started = time.perf_counter() if profiling else 0.0
     if resolve_engine(predictor, engine) == "batch":
         from repro.batch import measure_accuracy_batch
 
-        return measure_accuracy_batch(predictor, trace, warmup_branches=warmup_branches)
-    branches = 0
-    mispredictions = 0
+        result = measure_accuracy_batch(
+            predictor, trace, warmup_branches=warmup_branches, attribution=attribution
+        )
+    elif attribution:
+        result = _measure_accuracy_attributed(predictor, trace, warmup_branches)
+    else:
+        branches = 0
+        mispredictions = 0
+        for position, (pc, taken) in enumerate(trace.conditional_branches()):
+            predictor.predict(pc)
+            correct = predictor.update(pc, taken)
+            if position < warmup_branches:
+                continue
+            branches += 1
+            if not correct:
+                mispredictions += 1
+        result = AccuracyResult(
+            predictor=predictor.name,
+            trace=trace.name,
+            branches=branches,
+            mispredictions=mispredictions,
+            storage_bytes=predictor.storage_bytes,
+        )
+    if profiling:
+        registry = obs.registry()
+        registry.timer("accuracy.seconds").observe(time.perf_counter() - started)
+        registry.counter("accuracy.mispredictions").inc(result.mispredictions)
+        _publish_result("accuracy", result, result.storage_bytes)
+    return result
+
+
+def _measure_accuracy_attributed(
+    predictor: BranchPredictor, trace: Trace, warmup_branches: int
+) -> AccuracyResult:
+    """The scalar loop with per-PC bucketing of scored branches."""
+    executions: dict[int, int] = {}
+    wrong: dict[int, int] = {}
     for position, (pc, taken) in enumerate(trace.conditional_branches()):
         predictor.predict(pc)
         correct = predictor.update(pc, taken)
         if position < warmup_branches:
             continue
-        branches += 1
+        executions[pc] = executions.get(pc, 0) + 1
         if not correct:
-            mispredictions += 1
+            wrong[pc] = wrong.get(pc, 0) + 1
+    attribution = attribution_from_counts(predictor.name, trace.name, executions, wrong)
     return AccuracyResult(
         predictor=predictor.name,
         trace=trace.name,
-        branches=branches,
-        mispredictions=mispredictions,
+        branches=attribution.branches,
+        mispredictions=attribution.mispredictions,
         storage_bytes=predictor.storage_bytes,
+        attribution=attribution,
     )
 
 
 def measure_override(
-    overriding: OverridingPredictor, trace: Trace, warmup_branches: int = 0
+    overriding: OverridingPredictor,
+    trace: Trace,
+    warmup_branches: int = 0,
+    attribution: bool | None = None,
 ) -> OverrideResult:
-    """Drive an overriding quick/slow pair over ``trace``'s branches."""
+    """Drive an overriding quick/slow pair over ``trace``'s branches.
+
+    ``attribution`` buckets scored *final* mispredictions per static branch
+    PC (``None`` collects exactly when observability is enabled).
+    """
+    if attribution is None:
+        attribution = obs.enabled()
     branches = 0
     final_mispredictions = 0
     quick_mispredictions = 0
     overrides = 0
+    executions: dict[int, int] | None = {} if attribution else None
+    wrong: dict[int, int] = {}
     for position, (pc, taken) in enumerate(trace.conditional_branches()):
         outcome = overriding.predict(pc)
         overriding.update(pc, taken)
@@ -177,11 +251,20 @@ def measure_override(
         branches += 1
         if outcome.final_taken != taken:
             final_mispredictions += 1
+            if executions is not None:
+                wrong[pc] = wrong.get(pc, 0) + 1
         if outcome.quick_taken != taken:
             quick_mispredictions += 1
         if outcome.overridden:
             overrides += 1
-    return OverrideResult(
+        if executions is not None:
+            executions[pc] = executions.get(pc, 0) + 1
+    breakdown = (
+        attribution_from_counts(overriding.name, trace.name, executions, wrong)
+        if executions is not None
+        else None
+    )
+    result = OverrideResult(
         predictor=overriding.name,
         trace=trace.name,
         branches=branches,
@@ -189,4 +272,12 @@ def measure_override(
         quick_mispredictions=quick_mispredictions,
         overrides=overrides,
         storage_bytes=(overriding.storage_bits + 7) // 8,
+        attribution=breakdown,
     )
+    if obs.enabled():
+        registry = obs.registry()
+        registry.counter("override.final_mispredictions").inc(final_mispredictions)
+        registry.counter("override.quick_mispredictions").inc(quick_mispredictions)
+        overriding.record_stats(registry)
+        _publish_result("override", result, result.storage_bytes)
+    return result

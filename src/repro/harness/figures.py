@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.gshare_fast import build_gshare_fast
 from repro.harness.aggregate import arithmetic_mean, harmonic_mean
 from repro.harness.experiment import measure_accuracy
@@ -107,9 +108,10 @@ def figure1(
 ) -> SeriesFigure:
     """Arithmetic-mean misprediction rates vs hardware budget (Figure 1)."""
     budgets = budgets or FULL_BUDGETS
-    cells = accuracy_sweep(
-        FIGURE1_FAMILIES, budgets, instructions=instructions, engine=engine
-    )
+    with obs.span("figure1.sweep", budgets=len(budgets)):
+        cells = accuracy_sweep(
+            FIGURE1_FAMILIES, budgets, instructions=instructions, engine=engine
+        )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
         title="Figure 1: arithmetic mean misprediction rate (%) on SPECint2000",
@@ -133,7 +135,8 @@ def figure2(budgets: list[int] | None = None, instructions: int | None = None) -
         x_values=budgets,
     )
     for mode, suffix in (("ideal", "(no delay)"), ("overriding", "(overriding)")):
-        cells = ipc_sweep(families, budgets, mode=mode, instructions=instructions)
+        with obs.span("figure2.sweep", mode=mode, budgets=len(budgets)):
+            cells = ipc_sweep(families, budgets, mode=mode, instructions=instructions)
         groups: dict[tuple[str, int], list[float]] = {}
         for cell in cells:
             groups.setdefault((cell.family, cell.budget_bytes), []).append(cell.ipc)
@@ -196,9 +199,10 @@ def figure5(
 ) -> SeriesFigure:
     """Mean misprediction rates of the four large predictors (Figure 5)."""
     budgets = budgets or LARGE_BUDGETS
-    cells = accuracy_sweep(
-        FIGURE5_FAMILIES, budgets, instructions=instructions, engine=engine
-    )
+    with obs.span("figure5.sweep", budgets=len(budgets)):
+        cells = accuracy_sweep(
+            FIGURE5_FAMILIES, budgets, instructions=instructions, engine=engine
+        )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
         title="Figure 5: arithmetic mean misprediction rate (%), large budgets",
@@ -221,13 +225,14 @@ def figure6(
     (Figure 6)."""
     benchmarks = benchmark_names()
     families = ["multicomponent", "perceptron", "gshare_fast"]
-    cells = accuracy_sweep(
-        families,
-        [budget_bytes],
-        benchmarks=benchmarks,
-        instructions=instructions,
-        engine=engine,
-    )
+    with obs.span("figure6.sweep", budget=budget_bytes):
+        cells = accuracy_sweep(
+            families,
+            [budget_bytes],
+            benchmarks=benchmarks,
+            instructions=instructions,
+            engine=engine,
+        )
     figure = PerBenchmarkFigure(
         title=f"Figure 6: misprediction rates (%) at a {format_budget(budget_bytes)} budget",
         benchmarks=benchmarks,
@@ -255,9 +260,10 @@ def figure7(
             title=f"Figure 7 ({label}): harmonic mean IPC",
             x_values=budgets,
         )
-        cells = ipc_sweep(
-            FIGURE7_FAMILIES + ["gshare_fast"], budgets, mode=mode, instructions=instructions
-        )
+        with obs.span("figure7.sweep", mode=mode, budgets=len(budgets)):
+            cells = ipc_sweep(
+                FIGURE7_FAMILIES + ["gshare_fast"], budgets, mode=mode, instructions=instructions
+            )
         groups: dict[tuple[str, int], list[float]] = {}
         for cell in cells:
             groups.setdefault((cell.family, cell.budget_bytes), []).append(cell.ipc)
@@ -280,9 +286,10 @@ def figure8(budget_bytes: int = MID_BUDGET, instructions: int | None = None) -> 
         mean_label="harm.mean",
     )
     families = ["multicomponent", "perceptron", "gshare_fast"]
-    cells = ipc_sweep(
-        families, [budget_bytes], mode="overriding", benchmarks=benchmarks, instructions=instructions
-    )
+    with obs.span("figure8.sweep", budget=budget_bytes):
+        cells = ipc_sweep(
+            families, [budget_bytes], mode="overriding", benchmarks=benchmarks, instructions=instructions
+        )
     for cell in cells:
         figure.series.setdefault(cell.family, {})[cell.benchmark] = cell.ipc
     for family, values in figure.series.items():
@@ -304,9 +311,10 @@ def extension_pipelined_families(
     separation on top of the same prefetch-and-select pipeline.
     """
     budgets = budgets or LARGE_BUDGETS
-    cells = accuracy_sweep(
-        ["gshare_fast", "bimode_fast"], budgets, instructions=instructions, engine=engine
-    )
+    with obs.span("extension.sweep", budgets=len(budgets)):
+        cells = accuracy_sweep(
+            ["gshare_fast", "bimode_fast"], budgets, instructions=instructions, engine=engine
+        )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
         title="Extension: pipelined single-cycle families, mean misprediction (%)",
@@ -353,23 +361,26 @@ def delayed_update_study(
     mispredict: dict[int, float] = {}
     ipc: dict[int, float] = {}
     for delay in delays:
-        rates = []
-        ipcs = []
-        for benchmark in benchmarks:
-            trace = spec2000_trace(benchmark, instructions=accuracy_instructions())
-            predictor = build_gshare_fast(budget_bytes, update_delay=delay)
-            warmup = warmup_branches(trace.conditional_branch_count)
-            rates.append(
-                measure_accuracy(predictor, trace, warmup_branches=warmup).misprediction_percent
-            )
-            ipc_trace = spec2000_trace(benchmark, instructions=ipc_instructions())
-            simulator = CycleSimulator(
-                SingleCyclePolicy(build_gshare_fast(budget_bytes, update_delay=delay)),
-                ilp=get_profile(benchmark).ilp,
-            )
-            ipcs.append(simulator.run(ipc_trace).ipc)
-        mispredict[delay] = arithmetic_mean(rates)
-        ipc[delay] = harmonic_mean(ipcs)
+        with obs.span("delayed_update.sweep", delay=delay):
+            rates = []
+            ipcs = []
+            for benchmark in benchmarks:
+                trace = spec2000_trace(benchmark, instructions=accuracy_instructions())
+                predictor = build_gshare_fast(budget_bytes, update_delay=delay)
+                warmup = warmup_branches(trace.conditional_branch_count)
+                rates.append(
+                    measure_accuracy(
+                        predictor, trace, warmup_branches=warmup
+                    ).misprediction_percent
+                )
+                ipc_trace = spec2000_trace(benchmark, instructions=ipc_instructions())
+                simulator = CycleSimulator(
+                    SingleCyclePolicy(build_gshare_fast(budget_bytes, update_delay=delay)),
+                    ilp=get_profile(benchmark).ilp,
+                )
+                ipcs.append(simulator.run(ipc_trace).ipc)
+            mispredict[delay] = arithmetic_mean(rates)
+            ipc[delay] = harmonic_mean(ipcs)
     return DelayedUpdateResult(
         budget_bytes=budget_bytes,
         delays=list(delays),

@@ -21,16 +21,24 @@ def render_table(
     column_names: Sequence[str],
     rows: Sequence[Sequence[object]],
 ) -> str:
-    """Render an aligned text table with a title rule."""
+    """Render an aligned text table with a title rule.
+
+    Ragged input is tolerated: short rows are padded with empty cells and
+    extra cells beyond the widest row/header set get unnamed columns, so a
+    diagnostic table never crashes the report it belongs to.
+    """
     cells = [[str(value) for value in row] for row in rows]
     headers = [str(name) for name in column_names]
+    columns = max([len(headers), *(len(row) for row in cells)], default=len(headers))
+    headers += [""] * (columns - len(headers))
     widths = [len(header) for header in headers]
     for row in cells:
+        row += [""] * (columns - len(row))
         for i, value in enumerate(row):
             widths[i] = max(widths[i], len(value))
     lines = [title, "=" * len(title)]
     lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
     for row in cells:
         lines.append("  ".join(value.rjust(widths[i]) for i, value in enumerate(row)))
     return "\n".join(lines)

@@ -54,11 +54,16 @@ def ipc_instructions() -> int:
 
 
 def benchmark_names() -> list[str]:
-    """Benchmarks to run: REPRO_BENCHMARKS subset or all twelve."""
+    """Benchmarks to run: REPRO_BENCHMARKS subset or all twelve.
+
+    Repeated names are deduplicated (order preserving): a duplicated entry
+    would otherwise silently run a benchmark twice and double-weight it in
+    every mean.
+    """
     raw = os.environ.get("REPRO_BENCHMARKS")
     if not raw:
         return spec2000_names()
-    names = [name.strip() for name in raw.split(",") if name.strip()]
+    names = list(dict.fromkeys(name.strip() for name in raw.split(",") if name.strip()))
     known = set(spec2000_names())
     unknown = [name for name in names if name not in known]
     if unknown:
@@ -66,6 +71,25 @@ def benchmark_names() -> list[str]:
     if not names:
         raise ConfigurationError("REPRO_BENCHMARKS is set but names no benchmarks")
     return names
+
+
+def resolved_config() -> dict:
+    """The fully-resolved experiment configuration as one dict.
+
+    This is the configuration a run manifest records: everything the
+    environment variables and defaults determine about an experiment, so a
+    ``results/*.txt`` can be reproduced from its sidecar.
+    """
+    from repro.harness.experiment import default_engine  # deferred: layering
+
+    return {
+        "scale": scale_factor(),
+        "benchmarks": benchmark_names(),
+        "engine": default_engine(),
+        "accuracy_instructions": accuracy_instructions(),
+        "ipc_instructions": ipc_instructions(),
+        "warmup_fraction": WARMUP_FRACTION,
+    }
 
 
 def warmup_branches(total_branches: int) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.bimode_fast import build_bimode_fast
 from repro.core.gshare_fast import build_gshare_fast
 from repro.core.overriding import OverridingPredictor
@@ -73,22 +74,28 @@ def accuracy_sweep(
         instructions = accuracy_instructions()
     cells = []
     for benchmark in benchmarks:
-        trace = spec2000_trace(benchmark, instructions=instructions)
-        warmup = warmup_branches(trace.conditional_branch_count)
-        for family in families:
-            for budget in budgets:
-                predictor = build_family(family, budget)
-                result = measure_accuracy(
-                    predictor, trace, warmup_branches=warmup, engine=engine
-                )
-                cells.append(
-                    AccuracyCell(
-                        benchmark=benchmark,
-                        family=family,
-                        budget_bytes=budget,
-                        misprediction_percent=result.misprediction_percent,
+        with obs.span(
+            "accuracy_sweep.benchmark",
+            benchmark=benchmark,
+            families=",".join(families),
+            budgets=len(budgets),
+        ):
+            trace = spec2000_trace(benchmark, instructions=instructions)
+            warmup = warmup_branches(trace.conditional_branch_count)
+            for family in families:
+                for budget in budgets:
+                    predictor = build_family(family, budget)
+                    result = measure_accuracy(
+                        predictor, trace, warmup_branches=warmup, engine=engine
                     )
-                )
+                    cells.append(
+                        AccuracyCell(
+                            benchmark=benchmark,
+                            family=family,
+                            budget_bytes=budget,
+                            misprediction_percent=result.misprediction_percent,
+                        )
+                    )
     return cells
 
 
@@ -150,29 +157,32 @@ def ipc_sweep(
         instructions = ipc_instructions()
     cells = []
     for benchmark in benchmarks:
-        trace = spec2000_trace(benchmark, instructions=instructions)
-        ilp = get_profile(benchmark).ilp
-        for family in families:
-            for budget in budgets:
-                policy = make_policy(family, budget, mode)
-                simulator = CycleSimulator(policy, config=config, ilp=ilp)
-                result: SimulationResult = simulator.run(trace)
-                override_rate = (
-                    result.overrides / result.conditional_branches
-                    if result.conditional_branches
-                    else 0.0
-                )
-                cells.append(
-                    IpcCell(
-                        benchmark=benchmark,
-                        family=family,
-                        mode=mode,
-                        budget_bytes=budget,
-                        ipc=result.ipc,
-                        misprediction_percent=100.0 * result.misprediction_rate,
-                        override_rate=override_rate,
+        with obs.span(
+            "ipc_sweep.benchmark", benchmark=benchmark, mode=mode, budgets=len(budgets)
+        ):
+            trace = spec2000_trace(benchmark, instructions=instructions)
+            ilp = get_profile(benchmark).ilp
+            for family in families:
+                for budget in budgets:
+                    policy = make_policy(family, budget, mode)
+                    simulator = CycleSimulator(policy, config=config, ilp=ilp)
+                    result: SimulationResult = simulator.run(trace)
+                    override_rate = (
+                        result.overrides / result.conditional_branches
+                        if result.conditional_branches
+                        else 0.0
                     )
-                )
+                    cells.append(
+                        IpcCell(
+                            benchmark=benchmark,
+                            family=family,
+                            mode=mode,
+                            budget_bytes=budget,
+                            ipc=result.ipc,
+                            misprediction_percent=100.0 * result.misprediction_rate,
+                            override_rate=override_rate,
+                        )
+                    )
     return cells
 
 
@@ -201,10 +211,11 @@ def override_statistics(
     latency = predictor_latency(family, budget_bytes)
     rates = {}
     for benchmark in benchmarks:
-        trace = spec2000_trace(benchmark, instructions=instructions)
-        overriding = OverridingPredictor(
-            build_family(family, budget_bytes), slow_latency=latency
-        )
-        result = measure_override(overriding, trace)
-        rates[benchmark] = result.override_rate
+        with obs.span("override_statistics.benchmark", benchmark=benchmark, family=family):
+            trace = spec2000_trace(benchmark, instructions=instructions)
+            overriding = OverridingPredictor(
+                build_family(family, budget_bytes), slow_latency=latency
+            )
+            result = measure_override(overriding, trace)
+            rates[benchmark] = result.override_rate
     return rates

@@ -1,0 +1,100 @@
+"""Observability layer: metrics, span tracing, manifests, attribution.
+
+One import gives every layer the same instruments::
+
+    from repro import obs
+
+    with obs.span("figure1.sweep", engine="batch"):
+        obs.counter("accuracy.measurements").inc()
+
+Collection is off by default and the disabled path is engineered to cost
+nothing measurable: measurement loops check :func:`enabled` once per call
+(never per branch), and figure outputs are byte-identical either way.
+
+Environment variables (see DESIGN.md §8 for the event/manifest schema):
+
+* ``REPRO_PROFILE`` — truthy enables metric + attribution collection
+  (``repro-figures --profile`` pins it for the process);
+* ``REPRO_LOG`` — path receiving structured JSONL span events;
+* ``REPRO_VERBOSE`` — truthy mirrors span open/close lines on stderr.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    enabled,
+    enabled_override,
+    render_snapshot,
+    set_enabled,
+)
+from repro.obs.tracing import (
+    default_registry,
+    log_event,
+    log_path,
+    set_verbose,
+    span,
+    tracing_active,
+    verbose,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "counter",
+    "default_registry",
+    "enabled",
+    "enabled_override",
+    "gauge",
+    "histogram",
+    "log_event",
+    "log_path",
+    "registry",
+    "render_snapshot",
+    "reset",
+    "set_enabled",
+    "set_verbose",
+    "span",
+    "timer",
+    "tracing_active",
+    "verbose",
+]
+
+
+def registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return default_registry()
+
+
+def counter(name: str) -> Counter:
+    """Get/create a counter on the default registry."""
+    return default_registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get/create a gauge on the default registry."""
+    return default_registry().gauge(name)
+
+
+def timer(name: str) -> Timer:
+    """Get/create a timer on the default registry."""
+    return default_registry().timer(name)
+
+
+def histogram(name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+    """Get/create a fixed-bucket histogram on the default registry."""
+    return default_registry().histogram(name, bounds)
+
+
+def reset() -> None:
+    """Clear every instrument on the default registry."""
+    default_registry().reset()

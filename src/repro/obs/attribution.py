@@ -1,0 +1,129 @@
+"""Per-branch misprediction attribution.
+
+Aggregate misprediction rates say *how much* a predictor misses;
+attribution says *where*: mispredictions bucketed per static branch PC,
+sorted by contribution, truncated to the top-N hard-to-predict sites.
+``measure_accuracy``/``measure_override`` collect this when observability
+is enabled (or when asked explicitly), on both the scalar and the batch
+engine, and record the top sites into the metrics registry so manifests
+and ``repro-stats`` can report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Rows kept when an attribution is published to the registry / a manifest.
+TOP_SITES = 10
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """Misprediction record for one static branch site."""
+
+    pc: int
+    executions: int
+    mispredictions: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        """This site's own misprediction rate."""
+        if self.executions == 0:
+            return 0.0
+        return self.mispredictions / self.executions
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Per-site misprediction breakdown of one measurement."""
+
+    predictor: str
+    trace: str
+    branches: int
+    mispredictions: int
+    sites: tuple[BranchSite, ...]  #: sorted by misprediction contribution
+
+    @property
+    def key(self) -> str:
+        """Registry/manifest key naming the measurement."""
+        return f"{self.predictor}/{self.trace}"
+
+    def top(self, n: int = TOP_SITES) -> tuple[BranchSite, ...]:
+        """The ``n`` sites contributing the most mispredictions."""
+        return self.sites[:n]
+
+    def to_rows(self, n: int = TOP_SITES) -> list[dict]:
+        """JSON-serializable top-N rows (the registry/manifest form)."""
+        return [
+            {
+                "pc": site.pc,
+                "executions": site.executions,
+                "mispredictions": site.mispredictions,
+            }
+            for site in self.top(n)
+        ]
+
+    def render(self, n: int = TOP_SITES) -> str:
+        """Aligned text table of the top-N hard-to-predict branches."""
+        from repro.harness.report import render_table  # deferred: layering
+
+        rows = [
+            (
+                f"{site.pc:#x}",
+                site.executions,
+                site.mispredictions,
+                f"{100.0 * site.misprediction_rate:.1f}",
+            )
+            for site in self.top(n)
+        ]
+        return render_table(
+            f"Hard-to-predict branches: {self.key}",
+            ["pc", "executions", "mispredictions", "rate %"],
+            rows,
+        )
+
+
+def _sorted_sites(sites: list[BranchSite]) -> tuple[BranchSite, ...]:
+    # Deterministic order: contribution first, then hotness, then PC — the
+    # same on the scalar and batch collection paths.
+    sites.sort(key=lambda s: (-s.mispredictions, -s.executions, s.pc))
+    return tuple(sites)
+
+
+def attribution_from_counts(
+    predictor: str,
+    trace: str,
+    executions: dict[int, int],
+    mispredictions: dict[int, int],
+) -> Attribution:
+    """Build an attribution from scalar-loop per-PC count dicts."""
+    sites = [
+        BranchSite(
+            pc=pc, executions=count, mispredictions=mispredictions.get(pc, 0)
+        )
+        for pc, count in executions.items()
+    ]
+    return Attribution(
+        predictor=predictor,
+        trace=trace,
+        branches=sum(executions.values()),
+        mispredictions=sum(mispredictions.values()),
+        sites=_sorted_sites(sites),
+    )
+
+
+def attribution_from_arrays(predictor: str, trace: str, pcs, wrong) -> Attribution:
+    """Build an attribution from batch-engine arrays.
+
+    ``pcs`` are the scored branch PCs, ``wrong`` a same-length boolean
+    mask of mispredictions; the breakdown is exactly the scalar one.
+    """
+    import numpy as np  # deferred: keep the obs package numpy-free otherwise
+
+    pcs = np.asarray(pcs)
+    wrong = np.asarray(wrong, dtype=bool)
+    unique, counts = np.unique(pcs, return_counts=True)
+    executions = dict(zip(unique.tolist(), counts.tolist()))
+    wrong_unique, wrong_counts = np.unique(pcs[wrong], return_counts=True)
+    mispredicted = dict(zip(wrong_unique.tolist(), wrong_counts.tolist()))
+    return attribution_from_counts(predictor, trace, executions, mispredicted)

@@ -1,0 +1,109 @@
+"""``repro-stats`` — render and diff run manifests.
+
+Usage::
+
+    repro-stats show results/table2.manifest.json
+    repro-stats diff results/figure1.manifest.json other/figure1.manifest.json
+
+``show`` prints a manifest's configuration, environment, per-phase wall
+times, metrics tables and top hard-to-predict-branch tables; ``diff``
+compares two manifests field by field (config, environment, output digest,
+phase timings, counters) — the quick answer to "why do these two
+``results/*.txt`` differ?".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.manifest import diff_manifests, load_manifest
+from repro.obs.registry import render_snapshot
+
+
+def _kv_rows(mapping: dict) -> list[tuple[str, str]]:
+    return [(key, str(value)) for key, value in sorted(mapping.items())]
+
+
+def render_manifest(manifest: dict) -> str:
+    """One manifest as aligned text tables."""
+    from repro.harness.report import render_table
+
+    target = manifest.get("target", "?")
+    sections = [
+        render_table(
+            f"Run manifest: {target}",
+            ["field", "value"],
+            [
+                ("manifest_version", manifest.get("manifest_version")),
+                ("duration_seconds", f"{manifest.get('duration_seconds', 0.0):.3f}"),
+            ],
+        ),
+        render_table("Config", ["key", "value"], _kv_rows(manifest.get("config") or {})),
+        render_table(
+            "Environment", ["key", "value"], _kv_rows(manifest.get("environment") or {})
+        ),
+        render_table(
+            "Output", ["key", "value"], _kv_rows(manifest.get("output") or {})
+        ),
+    ]
+    phases = manifest.get("phases") or {}
+    if phases:
+        rows = [
+            (
+                name,
+                info.get("count", 0),
+                f"{info.get('total_seconds', 0.0):.3f}",
+                f"{1e3 * info.get('mean_seconds', 0.0):.2f}",
+            )
+            for name, info in sorted(phases.items())
+        ]
+        sections.append(
+            render_table("Phases", ["phase", "count", "total s", "mean ms"], rows)
+        )
+    metrics = manifest.get("metrics") or {}
+    if metrics:
+        sections.append(render_snapshot(metrics))
+    return "\n\n".join(sections)
+
+
+def render_diff(rows: list[dict]) -> str:
+    """A :func:`diff_manifests` result as one aligned table."""
+    from repro.harness.report import render_table
+
+    if not rows:
+        return "Manifests match (config, environment, output, phases, counters)."
+    return render_table(
+        "Manifest differences",
+        ["section", "key", "a", "b"],
+        [(row["section"], row["key"], row["a"], row["b"]) for row in rows],
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-stats``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Render and diff run manifests written by repro-figures",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    show = subparsers.add_parser("show", help="render one or more manifests")
+    show.add_argument("manifests", nargs="+", help="manifest JSON paths")
+    diff = subparsers.add_parser("diff", help="compare two manifests")
+    diff.add_argument("manifest_a")
+    diff.add_argument("manifest_b")
+    args = parser.parse_args(argv)
+
+    if args.command == "show":
+        for path in args.manifests:
+            print(render_manifest(load_manifest(path)))
+            print()
+        return 0
+    rows = diff_manifests(load_manifest(args.manifest_a), load_manifest(args.manifest_b))
+    print(render_diff(rows))
+    print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

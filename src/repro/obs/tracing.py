@@ -1,0 +1,123 @@
+"""Span tracing: nested wall-time scopes with structured JSONL output.
+
+A *span* wraps one phase of a run (a figure, a sweep, one benchmark within
+a sweep).  Closing a span:
+
+* records its duration into the default registry's ``span.<name>`` timer
+  (when collection is enabled) — these timers are the per-phase timings a
+  run manifest reports;
+* appends a JSON line to the path named by the ``REPRO_LOG`` environment
+  variable (when set), so long sweeps leave a machine-readable trail;
+* mirrors a human-readable line to stderr when verbose (``--verbose`` or
+  ``REPRO_VERBOSE``) — the progress feed for otherwise-silent sweeps.
+
+When none of those sinks is active, ``span`` yields a no-op handle without
+touching the clock, so the fully-disabled path stays free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.registry import MetricsRegistry, _env_flag, enabled
+
+#: Process-global default registry shared by every instrumentation point.
+DEFAULT_REGISTRY = MetricsRegistry()
+
+_verbose: bool | None = None
+_stack: list[str] = []
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry instance."""
+    return DEFAULT_REGISTRY
+
+
+def verbose() -> bool:
+    """True when spans mirror a human-readable line to stderr."""
+    if _verbose is None:
+        return _env_flag("REPRO_VERBOSE")
+    return _verbose
+
+
+def set_verbose(value: bool | None) -> None:
+    """Pin the stderr mirror on/off, or ``None`` to defer to REPRO_VERBOSE."""
+    global _verbose
+    _verbose = value
+
+
+def log_path() -> str | None:
+    """The structured-event sink from ``REPRO_LOG`` (None when unset)."""
+    return os.environ.get("REPRO_LOG") or None
+
+
+def tracing_active() -> bool:
+    """True when spans have any live sink (registry, JSONL file, stderr)."""
+    return enabled() or verbose() or log_path() is not None
+
+
+def log_event(event: str, **fields: object) -> None:
+    """Append one structured event line to ``REPRO_LOG`` (no-op when unset)."""
+    path = log_path()
+    if path is None:
+        return
+    record = {"event": event, "ts": time.time(), **fields}
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+
+@dataclass
+class ActiveSpan:
+    """Mutable handle for an open span; ``annotate`` adds event fields."""
+
+    name: str
+    depth: int
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach extra key/value fields to the span's closing event."""
+        self.attrs.update(attrs)
+
+
+_NOOP_SPAN = ActiveSpan(name="", depth=0)
+
+
+@contextmanager
+def span(name: str, **attrs: object):
+    """Trace one named phase: ``with obs.span("figure1.sweep", engine=...):``.
+
+    Yields an :class:`ActiveSpan` whose ``annotate`` method adds fields to
+    the emitted event.  Nesting depth is tracked so JSONL consumers (and the
+    verbose mirror's indentation) can reconstruct the tree.
+    """
+    if not tracing_active():
+        yield _NOOP_SPAN
+        return
+    handle = ActiveSpan(name=name, depth=len(_stack), attrs=dict(attrs))
+    _stack.append(name)
+    if verbose():
+        print(f"[obs] {'  ' * handle.depth}> {name}", file=sys.stderr)
+    start = time.perf_counter()
+    try:
+        yield handle
+    finally:
+        duration = time.perf_counter() - start
+        _stack.pop()
+        if enabled():
+            DEFAULT_REGISTRY.timer(f"span.{name}").observe(duration)
+        log_event(
+            "span",
+            name=name,
+            depth=handle.depth,
+            duration_seconds=duration,
+            attrs=handle.attrs,
+        )
+        if verbose():
+            extras = " ".join(f"{k}={v}" for k, v in handle.attrs.items())
+            line = f"[obs] {'  ' * handle.depth}< {name} {duration:.3f}s"
+            print(f"{line} {extras}".rstrip(), file=sys.stderr)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.common.errors import ConfigurationError
 from repro.uarch.btb import BranchTargetBuffer, ReturnAddressStack
 from repro.uarch.caches import MemoryHierarchy, paper_hierarchy
@@ -231,7 +232,7 @@ class CycleSimulator:
                 self.btb.install(block.branch_pc, block.target)
 
         cycles = int(math.ceil(max(next_fetch, backend_end)))
-        return SimulationResult(
+        result = SimulationResult(
             trace=trace.name,
             policy=self.policy.name,
             instructions=instructions,
@@ -241,3 +242,30 @@ class CycleSimulator:
             overrides=overrides,
             stalls=stalls,
         )
+        if obs.enabled():
+            self._publish(result)
+        return result
+
+    def _publish(self, result: SimulationResult) -> None:
+        """Account this run's cycles — bubbles broken down by cause — into
+        the default metrics registry (once per run, never per block)."""
+        registry = obs.registry()
+        registry.counter("sim.runs").inc()
+        registry.counter("sim.instructions").inc(result.instructions)
+        registry.counter("sim.cycles").inc(result.cycles)
+        registry.counter("sim.branches").inc(result.conditional_branches)
+        registry.counter("sim.mispredictions").inc(result.mispredictions)
+        registry.counter("sim.overrides").inc(result.overrides)
+        stalls = result.stalls
+        for cause, amount in (
+            ("icache", stalls.icache),
+            ("dcache", stalls.dcache),
+            ("mispredict", stalls.mispredict),
+            ("override_bubble", stalls.override_bubble),
+            ("btb_miss", stalls.btb_miss),
+            ("ras_miss", stalls.ras_miss),
+        ):
+            registry.counter(f"sim.stall.{cause}").inc(amount)
+        overriding = getattr(self.policy, "overriding", None)
+        if overriding is not None and hasattr(overriding, "record_stats"):
+            overriding.record_stats(registry)

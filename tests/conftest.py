@@ -6,7 +6,19 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.workloads.spec2000 import spec2000_trace
+
+
+@pytest.fixture
+def obs_enabled():
+    """Turn observability collection on, with a clean default registry, and
+    restore the env-driven disabled state afterwards."""
+    obs.set_enabled(True)
+    obs.reset()
+    yield obs.registry()
+    obs.set_enabled(None)
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

@@ -121,3 +121,54 @@ class TestCli:
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["figure9"])
+
+    def test_default_run_writes_no_sidecars(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["table2"]) == 0
+        assert list(tmp_path.iterdir()) == []
+        output = capsys.readouterr().out
+        assert "Counters" not in output  # no metrics tables by default
+
+    def test_output_dir_writes_text_and_manifest(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["table2", "--output-dir", str(out_dir)]) == 0
+        text_path = out_dir / "table2.txt"
+        manifest_path = out_dir / "table2.manifest.json"
+        assert text_path.exists() and manifest_path.exists()
+        rendered = capsys.readouterr().out
+        assert text_path.read_text() == rendered.rstrip("\n") + "\n"
+
+        from repro.obs.manifest import load_manifest, output_digest
+
+        manifest = load_manifest(str(manifest_path))
+        assert manifest["target"] == "table2"
+        assert manifest["output"] == output_digest(text_path.read_text()[:-1])
+        assert manifest["config"]["benchmarks"] == ["gzip", "eon"]
+
+    def test_profile_prints_metrics_and_writes_manifest(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs.manifest import load_manifest
+
+        out_dir = tmp_path / "results"
+        assert main(["extension", "--profile", "--output-dir", str(out_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "Counters" in output
+        assert "accuracy.measurements" in output
+        assert "Hard-to-predict branches:" in output
+
+        manifest = load_manifest(str(out_dir / "extension.manifest.json"))
+        assert "extension" in manifest["phases"]
+        assert "extension.sweep" in manifest["phases"]
+        assert manifest["metrics"]["counters"]["accuracy.measurements"] > 0
+        assert manifest["metrics"]["attributions"]
+        # The flag is scoped to the run: observability is off again after.
+        assert obs.enabled_override() is None
+        assert not obs.enabled()
+
+    def test_profile_output_text_matches_unprofiled(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # --profile writes its manifest to cwd
+        assert main(["table2"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["table2", "--profile"]) == 0
+        profiled = capsys.readouterr().out
+        assert profiled.startswith(plain)  # figure text is byte-identical

@@ -124,6 +124,30 @@ class TestScale:
     def test_warmup_fraction(self):
         assert warmup_branches(1000) == 200
 
+    def test_benchmark_subset_dedupes_preserving_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHMARKS", "eon,gcc,eon,gcc,gzip")
+        assert benchmark_names() == ["eon", "gcc", "gzip"]
+
+    def test_resolved_config_keys(self, monkeypatch):
+        from repro.harness.scale import resolved_config
+
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gcc,eon")
+        monkeypatch.setenv("REPRO_ENGINE", "scalar")
+        config = resolved_config()
+        assert set(config) == {
+            "scale",
+            "benchmarks",
+            "engine",
+            "accuracy_instructions",
+            "ipc_instructions",
+            "warmup_fraction",
+        }
+        assert config["scale"] == 0.5
+        assert config["benchmarks"] == ["gcc", "eon"]
+        assert config["engine"] == "scalar"
+        assert config["accuracy_instructions"] == 300_000
+
 
 class TestSweeps:
     def test_budget_ladders(self):

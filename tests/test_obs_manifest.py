@@ -1,0 +1,179 @@
+"""Tests for run manifests: build, write/load, digest stability, diffing,
+and the repro-stats renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.cli import main as stats_main, render_diff, render_manifest
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    diff_manifests,
+    environment_info,
+    load_manifest,
+    manifest_path_for,
+    output_digest,
+    write_manifest,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def make_manifest(target="table2", text="hello\n", config=None, registry=None):
+    return build_manifest(
+        target,
+        text,
+        duration_seconds=1.25,
+        registry=registry or MetricsRegistry(),
+        config=config or {"scale": 1.0},
+    )
+
+
+class TestBuild:
+    def test_structure(self):
+        manifest = make_manifest()
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["target"] == "table2"
+        assert manifest["duration_seconds"] == 1.25
+        assert manifest["config"] == {"scale": 1.0}
+        assert manifest["output"] == output_digest("hello\n")
+        assert manifest["phases"] == {}
+        assert manifest["metrics"]["counters"] == {}
+
+    def test_default_config_is_resolved_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gcc,eon")
+        manifest = build_manifest("x", "", 0.0, registry=MetricsRegistry())
+        assert manifest["config"]["scale"] == 0.25
+        assert manifest["config"]["benchmarks"] == ["gcc", "eon"]
+
+    def test_environment_fields(self):
+        info = environment_info()
+        assert set(info) == {
+            "python",
+            "implementation",
+            "numpy",
+            "platform",
+            "argv",
+            "git_sha",
+        }
+        assert info["python"].count(".") == 2
+
+    def test_output_digest_stable(self):
+        a, b = output_digest("same text"), output_digest("same text")
+        assert a == b
+        assert a["bytes"] == len(b"same text")
+        assert output_digest("other")["sha256"] != a["sha256"]
+
+    def test_phases_extracted_from_span_timers(self):
+        registry = MetricsRegistry()
+        registry.timer("span.figure1.sweep").observe(0.5)
+        registry.timer("span.figure1.sweep").observe(0.3)
+        registry.timer("not_a_span").observe(9.0)
+        manifest = make_manifest(registry=registry)
+        assert set(manifest["phases"]) == {"figure1.sweep"}
+        phase = manifest["phases"]["figure1.sweep"]
+        assert phase["count"] == 2
+        assert phase["total_seconds"] == pytest.approx(0.8)
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out" / "table2.manifest.json")
+        manifest = make_manifest()
+        assert write_manifest(manifest, path) == path
+        assert load_manifest(path) == manifest
+
+    def test_written_json_is_pretty_and_sorted(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        write_manifest(make_manifest(), path)
+        text = open(path).read()
+        assert text.startswith("{\n")
+        assert text.endswith("\n")
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+    def test_manifest_path_for(self):
+        assert manifest_path_for("results/figure1.txt") == (
+            "results/figure1.manifest.json"
+        )
+        assert manifest_path_for("figure1") == "figure1.manifest.json"
+
+
+class TestDiff:
+    def test_identical_manifests_have_no_diff(self):
+        manifest = make_manifest()
+        assert diff_manifests(manifest, manifest) == []
+
+    def test_volatile_fields_ignored(self):
+        a, b = make_manifest(), make_manifest()
+        b["created_unix"] = a["created_unix"] + 100
+        b["duration_seconds"] = 9.0
+        b["environment"] = dict(a["environment"], argv="something else")
+        assert diff_manifests(a, b) == []
+
+    def test_config_and_output_differences_reported(self):
+        a = make_manifest(config={"scale": 1.0, "engine": "batch"})
+        b = make_manifest(
+            text="different\n", config={"scale": 0.5, "engine": "batch"}
+        )
+        rows = diff_manifests(a, b)
+        assert {"section": "config", "key": "scale", "a": 1.0, "b": 0.5} in rows
+        sections = {(row["section"], row["key"]) for row in rows}
+        assert ("output", "sha256") in sections
+        assert ("output", "bytes") in sections
+
+    def test_phase_and_counter_deltas(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.timer("span.sweep").observe(1.0)
+        reg_b.timer("span.sweep").observe(2.0)
+        reg_a.counter("accuracy.branches").inc(10)
+        reg_b.counter("accuracy.branches").inc(20)
+        rows = diff_manifests(make_manifest(registry=reg_a), make_manifest(registry=reg_b))
+        by_section = {(row["section"], row["key"]): row for row in rows}
+        assert by_section[("phases", "sweep")]["a"] == "1.000s"
+        assert by_section[("phases", "sweep")]["b"] == "2.000s"
+        assert by_section[("counters", "accuracy.branches")]["a"] == 10
+
+
+class TestStatsCli:
+    def test_render_manifest_sections(self):
+        registry = MetricsRegistry()
+        registry.timer("span.sweep").observe(0.5)
+        registry.counter("accuracy.branches").inc(100)
+        registry.record_attribution(
+            "gshare/gcc", [{"pc": 0x400, "executions": 10, "mispredictions": 4}]
+        )
+        text = render_manifest(make_manifest(registry=registry))
+        assert "Run manifest: table2" in text
+        assert "Config" in text and "scale" in text
+        assert "Environment" in text and "numpy" in text
+        assert "Phases" in text and "sweep" in text
+        assert "Hard-to-predict branches: gshare/gcc" in text
+
+    def test_render_diff_empty(self):
+        assert render_diff([]).startswith("Manifests match")
+
+    def test_show_and_diff_subcommands(self, tmp_path, capsys):
+        path_a = str(tmp_path / "a.manifest.json")
+        path_b = str(tmp_path / "b.manifest.json")
+        write_manifest(make_manifest(config={"scale": 1.0}), path_a)
+        write_manifest(make_manifest(config={"scale": 0.5}), path_b)
+
+        assert stats_main(["show", path_a]) == 0
+        out = capsys.readouterr().out
+        assert "Run manifest: table2" in out
+
+        assert stats_main(["diff", path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert "Manifest differences" in out
+        assert "scale" in out and "0.5" in out
+
+    def test_diff_identical_files(self, tmp_path, capsys):
+        path = str(tmp_path / "same.manifest.json")
+        write_manifest(make_manifest(), path)
+        assert stats_main(["diff", path, path]) == 0
+        assert "Manifests match" in capsys.readouterr().out

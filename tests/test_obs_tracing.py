@@ -1,0 +1,96 @@
+"""Tests for span tracing: registry timers, JSONL events, stderr mirror."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def log_file(tmp_path, monkeypatch):
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setenv("REPRO_LOG", str(path))
+    return path
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestSpan:
+    def test_disabled_span_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        monkeypatch.delenv("REPRO_VERBOSE", raising=False)
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        obs.set_enabled(None)
+        assert not obs.tracing_active()
+        with obs.span("quiet") as handle:
+            handle.annotate(ignored=True)  # no-op handle accepts annotations
+        assert obs.registry().timers == {}
+
+    def test_span_records_timer(self, obs_enabled):
+        with obs.span("phase_a"):
+            pass
+        with obs.span("phase_a"):
+            pass
+        timer = obs.registry().timer("span.phase_a")
+        assert timer.count == 2
+        assert timer.total_seconds >= 0.0
+
+    def test_span_emits_jsonl(self, obs_enabled, log_file):
+        with obs.span("outer", engine="batch"):
+            with obs.span("inner") as inner:
+                inner.annotate(cells=3)
+        events = read_events(log_file)
+        assert [e["name"] for e in events] == ["inner", "outer"]  # close order
+        inner_event, outer_event = events
+        assert inner_event["depth"] == 1 and outer_event["depth"] == 0
+        assert inner_event["attrs"] == {"cells": 3}
+        assert outer_event["attrs"] == {"engine": "batch"}
+        assert outer_event["duration_seconds"] >= inner_event["duration_seconds"]
+
+    def test_jsonl_without_profiling(self, monkeypatch, log_file):
+        """REPRO_LOG alone activates spans — no metrics required."""
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        obs.set_enabled(None)
+        with obs.span("standalone"):
+            pass
+        assert [e["name"] for e in read_events(log_file)] == ["standalone"]
+        assert obs.registry().timers == {}  # metrics still off
+
+    def test_span_closes_on_exception(self, obs_enabled, log_file):
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        assert [e["name"] for e in read_events(log_file)] == ["doomed"]
+
+    def test_verbose_mirror(self, obs_enabled, capsys):
+        obs.set_verbose(True)
+        try:
+            with obs.span("loud", benchmark="gcc"):
+                pass
+        finally:
+            obs.set_verbose(None)
+        err = capsys.readouterr().err
+        assert "[obs] > loud" in err
+        assert "< loud" in err and "benchmark=gcc" in err
+
+    def test_log_event(self, log_file):
+        obs.log_event("manifest", target="figure1")
+        (event,) = read_events(log_file)
+        assert event["event"] == "manifest"
+        assert event["target"] == "figure1"
+        assert "ts" in event
+
+
+class TestSweepSpans:
+    def test_accuracy_sweep_opens_benchmark_spans(self, obs_enabled, monkeypatch):
+        from repro.harness.sweep import accuracy_sweep
+
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        accuracy_sweep(["bimodal"], [8 * 1024], benchmarks=["gzip"], instructions=30_000)
+        timer = obs.registry().timer("span.accuracy_sweep.benchmark")
+        assert timer.count == 1
