@@ -9,8 +9,16 @@ from repro.harness.analysis import (
 from repro.harness.experiment import (
     AccuracyResult,
     OverrideResult,
+    default_jobs,
     measure_accuracy,
     measure_override,
+)
+from repro.harness.parallel import (
+    Shard,
+    ShardOutcome,
+    SweepExecutionError,
+    pool_jobs,
+    run_shards,
 )
 from repro.harness.scale import (
     accuracy_instructions,
@@ -24,10 +32,14 @@ from repro.harness.scale import (
 __all__ = [
     "AccuracyResult",
     "OverrideResult",
+    "Shard",
+    "ShardOutcome",
+    "SweepExecutionError",
     "accuracy_instructions",
     "arithmetic_mean",
     "benchmark_names",
     "compare_predictors",
+    "default_jobs",
     "geometric_mean",
     "harmonic_mean",
     "history_context_profile",
@@ -35,7 +47,9 @@ __all__ = [
     "measure_accuracy",
     "measure_override",
     "per_site_accuracy",
+    "pool_jobs",
     "resolved_config",
+    "run_shards",
     "scale_factor",
     "warmup_branches",
 ]

@@ -12,6 +12,13 @@ Scale with ``REPRO_SCALE`` (trace length multiplier) and
 ``REPRO_BENCHMARKS`` (subset of benchmark names); pick the accuracy
 evaluation engine with ``--engine`` (or ``REPRO_ENGINE``).
 
+Parallel execution: ``--jobs N`` (or ``REPRO_JOBS``; ``auto`` = one worker
+per CPU) shards every sweep across a process pool with results identical
+to the serial path.  ``--run-dir DIR`` checkpoints finished shards so an
+interrupted run restarted with ``--resume DIR`` skips completed work;
+``--max-retries`` bounds per-shard retry attempts (failures land in
+``DIR/manifest.json``).
+
 Observability: ``--profile`` turns on the metrics registry, per-branch
 misprediction attribution and ``span.*`` phase timers, prints the registry
 after each target, and writes a run-manifest sidecar
@@ -155,6 +162,36 @@ def main(argv: list[str] | None = None) -> int:
         "'batch' uses the vectorized engine, 'scalar' the reference loop)",
     )
     parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="worker processes per sweep (or REPRO_JOBS; 'auto'/'0' = one "
+        "per CPU; default 1 = serial). Figure output is byte-identical "
+        "either way",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint finished sweep shards under DIR so an interrupted "
+        "parallel run can be resumed (see --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume a parallel run from DIR's shard checkpoints, skipping "
+        "completed shards (DIR must exist; implies --run-dir DIR)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failed sweep shard up to N times before giving up "
+        "(or REPRO_MAX_RETRIES; default 2)",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         metavar="DIR",
@@ -178,6 +215,18 @@ def main(argv: list[str] | None = None) -> int:
         # Runners take no arguments; the environment variable is the
         # process-wide channel every sweep already consults.
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.resume is not None:
+        if not os.path.isdir(args.resume):
+            parser.error(f"--resume directory does not exist: {args.resume}")
+        if args.run_dir is not None and args.run_dir != args.resume:
+            parser.error("--resume and --run-dir name different directories")
+        args.run_dir = args.resume
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = args.jobs
+    if args.run_dir is not None:
+        os.environ["REPRO_RUN_DIR"] = args.run_dir
+    if args.max_retries is not None:
+        os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
     targets = list(RUNNERS) if "all" in args.targets else args.targets
     prior_enabled = obs.enabled_override()
     try:

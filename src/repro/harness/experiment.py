@@ -49,6 +49,27 @@ def default_engine() -> str:
     return engine
 
 
+def default_jobs() -> int:
+    """The sweep worker count selected by ``REPRO_JOBS`` (default 1).
+
+    ``1`` keeps sweeps on the serial in-process path; anything larger routes
+    them through the process-pool executor in :mod:`repro.harness.parallel`.
+    ``auto`` (or ``0``) means one worker per CPU.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1").strip().lower() or "1"
+    if raw in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_JOBS must be a positive integer or 'auto', got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(f"REPRO_JOBS must be >= 1, got {value}")
+    return value
+
+
 def resolve_engine(predictor: BranchPredictor, engine: str | None = None) -> str:
     """Resolve ``engine`` (or the environment default) to scalar/batch.
 

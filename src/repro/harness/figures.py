@@ -105,12 +105,14 @@ def figure1(
     budgets: list[int] | None = None,
     instructions: int | None = None,
     engine: str | None = None,
+    jobs: int | None = None,
 ) -> SeriesFigure:
     """Arithmetic-mean misprediction rates vs hardware budget (Figure 1)."""
     budgets = budgets or FULL_BUDGETS
     with obs.span("figure1.sweep", budgets=len(budgets)):
         cells = accuracy_sweep(
-            FIGURE1_FAMILIES, budgets, instructions=instructions, engine=engine
+            FIGURE1_FAMILIES, budgets, instructions=instructions, engine=engine,
+            jobs=jobs,
         )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
@@ -125,7 +127,11 @@ def figure1(
 # -- Figure 2 -----------------------------------------------------------------
 
 
-def figure2(budgets: list[int] | None = None, instructions: int | None = None) -> SeriesFigure:
+def figure2(
+    budgets: list[int] | None = None,
+    instructions: int | None = None,
+    jobs: int | None = None,
+) -> SeriesFigure:
     """Ideal vs realistic (overriding) IPC for the two most accurate complex
     predictors (Figure 2)."""
     budgets = budgets or LARGE_BUDGETS
@@ -136,7 +142,9 @@ def figure2(budgets: list[int] | None = None, instructions: int | None = None) -
     )
     for mode, suffix in (("ideal", "(no delay)"), ("overriding", "(overriding)")):
         with obs.span("figure2.sweep", mode=mode, budgets=len(budgets)):
-            cells = ipc_sweep(families, budgets, mode=mode, instructions=instructions)
+            cells = ipc_sweep(
+                families, budgets, mode=mode, instructions=instructions, jobs=jobs
+            )
         groups: dict[tuple[str, int], list[float]] = {}
         for cell in cells:
             groups.setdefault((cell.family, cell.budget_bytes), []).append(cell.ipc)
@@ -196,12 +204,14 @@ def figure5(
     budgets: list[int] | None = None,
     instructions: int | None = None,
     engine: str | None = None,
+    jobs: int | None = None,
 ) -> SeriesFigure:
     """Mean misprediction rates of the four large predictors (Figure 5)."""
     budgets = budgets or LARGE_BUDGETS
     with obs.span("figure5.sweep", budgets=len(budgets)):
         cells = accuracy_sweep(
-            FIGURE5_FAMILIES, budgets, instructions=instructions, engine=engine
+            FIGURE5_FAMILIES, budgets, instructions=instructions, engine=engine,
+            jobs=jobs,
         )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(
@@ -220,6 +230,7 @@ def figure6(
     budget_bytes: int = MID_BUDGET,
     instructions: int | None = None,
     engine: str | None = None,
+    jobs: int | None = None,
 ) -> PerBenchmarkFigure:
     """Per-benchmark misprediction rates at the mid (53-64KB) budget
     (Figure 6)."""
@@ -232,6 +243,7 @@ def figure6(
             benchmarks=benchmarks,
             instructions=instructions,
             engine=engine,
+            jobs=jobs,
         )
     figure = PerBenchmarkFigure(
         title=f"Figure 6: misprediction rates (%) at a {format_budget(budget_bytes)} budget",
@@ -249,7 +261,9 @@ def figure6(
 
 
 def figure7(
-    budgets: list[int] | None = None, instructions: int | None = None
+    budgets: list[int] | None = None,
+    instructions: int | None = None,
+    jobs: int | None = None,
 ) -> tuple[SeriesFigure, SeriesFigure]:
     """Harmonic-mean IPC vs budget: ideal (left panel) and overriding
     (right panel), complex predictors plus gshare.fast (Figure 7)."""
@@ -262,7 +276,11 @@ def figure7(
         )
         with obs.span("figure7.sweep", mode=mode, budgets=len(budgets)):
             cells = ipc_sweep(
-                FIGURE7_FAMILIES + ["gshare_fast"], budgets, mode=mode, instructions=instructions
+                FIGURE7_FAMILIES + ["gshare_fast"],
+                budgets,
+                mode=mode,
+                instructions=instructions,
+                jobs=jobs,
             )
         groups: dict[tuple[str, int], list[float]] = {}
         for cell in cells:
@@ -276,7 +294,11 @@ def figure7(
 # -- Figure 8 -----------------------------------------------------------------
 
 
-def figure8(budget_bytes: int = MID_BUDGET, instructions: int | None = None) -> PerBenchmarkFigure:
+def figure8(
+    budget_bytes: int = MID_BUDGET,
+    instructions: int | None = None,
+    jobs: int | None = None,
+) -> PerBenchmarkFigure:
     """Per-benchmark IPC at the mid budget, overriding for the complex
     predictors and single-cycle for gshare.fast (Figure 8)."""
     benchmarks = benchmark_names()
@@ -288,7 +310,12 @@ def figure8(budget_bytes: int = MID_BUDGET, instructions: int | None = None) -> 
     families = ["multicomponent", "perceptron", "gshare_fast"]
     with obs.span("figure8.sweep", budget=budget_bytes):
         cells = ipc_sweep(
-            families, [budget_bytes], mode="overriding", benchmarks=benchmarks, instructions=instructions
+            families,
+            [budget_bytes],
+            mode="overriding",
+            benchmarks=benchmarks,
+            instructions=instructions,
+            jobs=jobs,
         )
     for cell in cells:
         figure.series.setdefault(cell.family, {})[cell.benchmark] = cell.ipc
@@ -304,6 +331,7 @@ def extension_pipelined_families(
     budgets: list[int] | None = None,
     instructions: int | None = None,
     engine: str | None = None,
+    jobs: int | None = None,
 ) -> SeriesFigure:
     """The paper's future work, measured: gshare.fast vs bimode.fast.
 
@@ -313,7 +341,11 @@ def extension_pipelined_families(
     budgets = budgets or LARGE_BUDGETS
     with obs.span("extension.sweep", budgets=len(budgets)):
         cells = accuracy_sweep(
-            ["gshare_fast", "bimode_fast"], budgets, instructions=instructions, engine=engine
+            ["gshare_fast", "bimode_fast"],
+            budgets,
+            instructions=instructions,
+            engine=engine,
+            jobs=jobs,
         )
     means = mean_by_family_budget(cells)
     figure = SeriesFigure(

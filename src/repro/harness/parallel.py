@@ -1,0 +1,609 @@
+"""Process-pool sweep executor with resumable shard checkpoints.
+
+The figure sweeps iterate a (benchmark x family x budget) grid whose cells
+are completely independent: predictors are constructed fresh per cell and
+traces are pure functions of (benchmark, length, seed).  This module shards
+that grid into per-cell work units, runs them across ``--jobs N`` worker
+processes, and merges the results back in the canonical serial order, so
+figure output is byte-identical to the serial path (each cell computes the
+very same floats; JSON round-trips them exactly).
+
+Resumability: with a run directory, every finished shard is checkpointed as
+one JSON file (written atomically by the parent), so an interrupted or
+crashed sweep restarted with the same directory skips completed shards.
+``run.json`` pins the per-kind sweep configuration; resuming under a
+different configuration (scale, engine, trace length, machine) is refused
+rather than silently mixing results.
+
+Failures: a shard that raises is retried up to ``max_retries`` times; every
+failure is recorded in the run manifest (``manifest.json`` in the run
+directory, mirrored into the obs manifest via :func:`drain_run_reports`).
+A worker process that dies outright (broken pool) costs one retry for every
+shard that was still outstanding in that round.
+
+Workers rely on the per-process LRU trace cache in
+:mod:`repro.workloads.spec2000` (capacity ``REPRO_TRACE_CACHE``) so one
+worker decodes each benchmark trace once, not once per predictor config;
+per-shard hit/miss deltas are reported back for the run manifest.
+
+Test hooks (used by the CI kill/resume job and the test suite):
+
+* ``REPRO_PARALLEL_ABORT_AFTER=K`` — abort the run (RuntimeError) after K
+  freshly-executed shards, simulating a mid-run crash after their
+  checkpoints were written;
+* ``REPRO_PARALLEL_FAIL_SHARD=<substring>`` +
+  ``REPRO_PARALLEL_FAIL_ATTEMPTS=N`` — shards whose key contains the
+  substring fail their first N attempts, exercising the retry path
+  deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+
+from repro import obs
+from repro.common.errors import ConfigurationError, ReproError
+from repro.harness.experiment import default_jobs
+
+#: Bumped when the shard checkpoint / run manifest layout changes.
+CHECKPOINT_SCHEMA = 1
+
+#: Default retry budget per shard (``REPRO_MAX_RETRIES`` override).
+DEFAULT_MAX_RETRIES = 2
+
+
+class SweepExecutionError(ReproError):
+    """A shard kept failing after exhausting its retry budget."""
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent (kind, benchmark, family, budget[, mode]) work unit."""
+
+    kind: str  # "accuracy" | "ipc"
+    benchmark: str
+    family: str
+    budget_bytes: int
+    mode: str = ""  # ipc shards only
+
+    @property
+    def key(self) -> str:
+        """Stable identifier; doubles as the checkpoint file stem."""
+        parts = [self.kind, self.benchmark, self.family, str(self.budget_bytes)]
+        if self.mode:
+            parts.append(self.mode)
+        return "__".join(parts)
+
+
+@dataclass
+class ShardOutcome:
+    """A finished shard: its payload plus execution bookkeeping."""
+
+    shard: Shard
+    payload: dict
+    duration_seconds: float
+    worker_pid: int
+    retries: int = 0
+    from_checkpoint: bool = False
+    trace_cache: dict = field(default_factory=dict)
+
+
+def pool_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count: explicit argument, else ``REPRO_JOBS``,
+    else one worker per CPU (this module's default)."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+    if os.environ.get("REPRO_JOBS", "").strip():
+        return default_jobs()
+    return os.cpu_count() or 1
+
+
+def resolve_max_retries(max_retries: int | None = None) -> int:
+    """Per-shard retry budget: explicit argument, else ``REPRO_MAX_RETRIES``."""
+    if max_retries is None:
+        raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
+        if not raw:
+            return DEFAULT_MAX_RETRIES
+        try:
+            max_retries = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_MAX_RETRIES must be an integer >= 0, got {raw!r}"
+            ) from None
+    if max_retries < 0:
+        raise ConfigurationError(f"max retries must be >= 0, got {max_retries}")
+    return max_retries
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _execute_shard(shard: Shard, cfg: dict, attempt: int) -> dict:
+    """Run one shard in a worker process; returns a JSON-able result dict.
+
+    Deferred imports keep executor scheduling importable without dragging in
+    the whole measurement stack (and they are free after the first shard).
+    """
+    from repro.harness.scale import warmup_branches
+    from repro.workloads.spec2000 import spec2000_trace, trace_cache_info
+
+    fail_key = os.environ.get("REPRO_PARALLEL_FAIL_SHARD", "")
+    if fail_key and fail_key in shard.key:
+        fail_attempts = int(os.environ.get("REPRO_PARALLEL_FAIL_ATTEMPTS", "1"))
+        if attempt < fail_attempts:
+            raise RuntimeError(
+                f"injected failure for shard {shard.key} (attempt {attempt})"
+            )
+
+    before = trace_cache_info()
+    started = time.perf_counter()
+    if shard.kind == "accuracy":
+        from repro.harness.experiment import measure_accuracy
+        from repro.harness.sweep import build_family
+
+        trace = spec2000_trace(shard.benchmark, instructions=cfg["instructions"])
+        warmup = warmup_branches(trace.conditional_branch_count)
+        predictor = build_family(shard.family, shard.budget_bytes)
+        result = measure_accuracy(
+            predictor, trace, warmup_branches=warmup, engine=cfg["engine"]
+        )
+        payload = {"misprediction_percent": result.misprediction_percent}
+    elif shard.kind == "ipc":
+        from repro.harness.sweep import make_policy
+        from repro.uarch.config import MachineConfig
+        from repro.uarch.simulator import CycleSimulator
+        from repro.workloads.spec2000 import get_profile
+
+        trace = spec2000_trace(shard.benchmark, instructions=cfg["instructions"])
+        policy = make_policy(shard.family, shard.budget_bytes, shard.mode)
+        simulator = CycleSimulator(
+            policy,
+            config=MachineConfig(**cfg["machine"]),
+            ilp=get_profile(shard.benchmark).ilp,
+        )
+        result = simulator.run(trace)
+        override_rate = (
+            result.overrides / result.conditional_branches
+            if result.conditional_branches
+            else 0.0
+        )
+        payload = {
+            "ipc": result.ipc,
+            "misprediction_percent": 100.0 * result.misprediction_rate,
+            "override_rate": override_rate,
+        }
+    else:
+        raise ConfigurationError(f"unknown shard kind {shard.kind!r}")
+    after = trace_cache_info()
+    return {
+        "payload": payload,
+        "duration_seconds": time.perf_counter() - started,
+        "worker_pid": os.getpid(),
+        "trace_cache": {
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+        },
+    }
+
+
+# -- checkpoint store ----------------------------------------------------------
+
+
+class CheckpointStore:
+    """Per-shard JSON checkpoints plus the pinned run configuration."""
+
+    def __init__(self, run_dir: str) -> None:
+        self.run_dir = run_dir
+        self.shard_dir = os.path.join(run_dir, "shards")
+        os.makedirs(self.shard_dir, exist_ok=True)
+        self._run_path = os.path.join(run_dir, "run.json")
+
+    def pin_config(self, kind: str, cfg: dict) -> None:
+        """Record ``cfg`` as the run's configuration for ``kind`` sweeps.
+
+        The first sweep of each kind pins it; later sweeps (including
+        resumes) must present an identical configuration or the run
+        directory is refused — mixing configurations would merge cells
+        measured under different settings into one figure.
+        """
+        run = self._load_run()
+        pinned = run["config"].get(kind)
+        if pinned is None:
+            run["config"][kind] = cfg
+            self._write_json(self._run_path, run)
+        elif pinned != _json_roundtrip(cfg):
+            raise ConfigurationError(
+                f"run directory {self.run_dir!r} was created with a different "
+                f"{kind}-sweep configuration; resume with the original "
+                f"REPRO_SCALE/REPRO_ENGINE/machine settings or use a fresh "
+                f"--run-dir (pinned: {pinned}, requested: {cfg})"
+            )
+
+    def load(self, shard: Shard) -> ShardOutcome | None:
+        """The checkpointed outcome for ``shard``, or None if absent/invalid."""
+        path = self._shard_path(shard)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("schema") != CHECKPOINT_SCHEMA or data.get("shard") != asdict(shard):
+            return None
+        worker = data.get("worker") or {}
+        return ShardOutcome(
+            shard=shard,
+            payload=data["payload"],
+            duration_seconds=worker.get("duration_seconds", 0.0),
+            worker_pid=worker.get("pid", 0),
+            retries=worker.get("retries", 0),
+            from_checkpoint=True,
+        )
+
+    def store(self, outcome: ShardOutcome) -> None:
+        """Atomically persist one finished shard."""
+        self._write_json(
+            self._shard_path(outcome.shard),
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "shard": asdict(outcome.shard),
+                "payload": outcome.payload,
+                "worker": {
+                    "pid": outcome.worker_pid,
+                    "duration_seconds": outcome.duration_seconds,
+                    "retries": outcome.retries,
+                },
+            },
+        )
+
+    def write_manifest(self, summary: dict) -> str:
+        """Write the run-level manifest (shard timings, retries, failures)."""
+        path = os.path.join(self.run_dir, "manifest.json")
+        self._write_json(path, summary)
+        return path
+
+    def _shard_path(self, shard: Shard) -> str:
+        return os.path.join(self.shard_dir, f"{shard.key}.json")
+
+    def _load_run(self) -> dict:
+        try:
+            with open(self._run_path, encoding="utf-8") as handle:
+                run = json.load(handle)
+        except FileNotFoundError:
+            return {"schema": CHECKPOINT_SCHEMA, "created_unix": time.time(), "config": {}}
+        if run.get("schema") != CHECKPOINT_SCHEMA:
+            raise ConfigurationError(
+                f"{self._run_path} has checkpoint schema {run.get('schema')!r}; "
+                f"this build reads schema {CHECKPOINT_SCHEMA} — use a fresh run dir"
+            )
+        return run
+
+    @staticmethod
+    def _write_json(path: str, data: dict) -> None:
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+
+def _json_roundtrip(value: dict) -> dict:
+    """``value`` as it will compare after a JSON write/read cycle."""
+    return json.loads(json.dumps(value))
+
+
+# -- run reports (consumed by obs manifests) -----------------------------------
+
+_RUN_REPORTS: list[dict] = []
+
+
+def drain_run_reports() -> list[dict]:
+    """Pop every parallel-run summary recorded since the last drain.
+
+    ``repro.obs.manifest.build_manifest`` calls this so each figure manifest
+    carries the per-shard worker timings and retry counts of the parallel
+    sweeps that produced it.
+    """
+    reports, _RUN_REPORTS[:] = _RUN_REPORTS[:], []
+    return reports
+
+
+# -- executor ------------------------------------------------------------------
+
+
+def run_shards(
+    shards: list[Shard],
+    cfg: dict,
+    jobs: int | None = None,
+    run_dir: str | None = None,
+    max_retries: int | None = None,
+    label: str = "sweep",
+) -> list[ShardOutcome]:
+    """Execute ``shards`` across a process pool; returns outcomes in input
+    order (the canonical serial order, so merged results are deterministic).
+
+    ``cfg`` is the JSON-able per-shard configuration (trace length, engine,
+    machine parameters); with ``run_dir`` it is pinned in ``run.json`` and
+    completed shards are checkpointed and skipped on resume.
+    """
+    jobs = pool_jobs(jobs)
+    max_retries = resolve_max_retries(max_retries)
+    cfg = _json_roundtrip(cfg)
+    kinds = {shard.kind for shard in shards}
+    store = None
+    if run_dir is not None:
+        store = CheckpointStore(run_dir)
+        for kind in sorted(kinds):
+            store.pin_config(kind, cfg)
+
+    outcomes: dict[str, ShardOutcome] = {}
+    remaining: dict[str, Shard] = {}
+    for shard in shards:
+        loaded = store.load(shard) if store is not None else None
+        if loaded is not None:
+            outcomes[shard.key] = loaded
+        else:
+            remaining[shard.key] = shard
+
+    abort_after = int(os.environ.get("REPRO_PARALLEL_ABORT_AFTER", "0") or "0")
+    attempts: dict[str, int] = dict.fromkeys(remaining, 0)
+    failures: list[dict] = []
+    executed = 0
+    status = "completed"
+    started = time.perf_counter()
+    profiling = obs.enabled()
+
+    def record_failure(shard: Shard, error: str) -> None:
+        failures.append(
+            {"shard": shard.key, "attempt": attempts[shard.key], "error": error}
+        )
+        attempts[shard.key] += 1
+        if attempts[shard.key] > max_retries:
+            raise SweepExecutionError(
+                f"shard {shard.key} failed {attempts[shard.key]} times "
+                f"(max_retries={max_retries}); last error: {error}"
+            )
+
+    try:
+        with obs.span(
+            "parallel.run", label=label, jobs=jobs, shards=len(shards), resumed=len(outcomes)
+        ):
+            while remaining:
+                round_shards = list(remaining.values())
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = {
+                        pool.submit(_execute_shard, shard, cfg, attempts[shard.key]): shard
+                        for shard in round_shards
+                    }
+                    pending = set(futures)
+                    broken = False
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            shard = futures[future]
+                            try:
+                                result = future.result()
+                            except BrokenProcessPool:
+                                broken = True
+                                continue
+                            except Exception as exc:  # worker raised: retry
+                                record_failure(shard, f"{type(exc).__name__}: {exc}")
+                                continue
+                            outcome = ShardOutcome(
+                                shard=shard,
+                                payload=result["payload"],
+                                duration_seconds=result["duration_seconds"],
+                                worker_pid=result["worker_pid"],
+                                retries=attempts[shard.key],
+                                trace_cache=result["trace_cache"],
+                            )
+                            outcomes[shard.key] = outcome
+                            del remaining[shard.key]
+                            if store is not None:
+                                store.store(outcome)
+                            executed += 1
+                            if profiling:
+                                registry = obs.registry()
+                                registry.counter("parallel.shards_executed").inc()
+                                registry.timer("parallel.shard_seconds").observe(
+                                    outcome.duration_seconds
+                                )
+                            if abort_after and executed >= abort_after:
+                                pool.shutdown(wait=False, cancel_futures=True)
+                                raise RuntimeError(
+                                    f"aborted by REPRO_PARALLEL_ABORT_AFTER="
+                                    f"{abort_after} after {executed} shards"
+                                )
+                        if broken:
+                            break
+                if broken:
+                    # Every shard still outstanding in the broken round pays
+                    # one retry (the dead worker is not identifiable).
+                    for shard in list(remaining.values()):
+                        record_failure(shard, "BrokenProcessPool: worker died")
+    except SweepExecutionError:
+        status = "failed"
+        raise
+    except BaseException:
+        status = "aborted"
+        raise
+    finally:
+        summary = _summarize(
+            label, jobs, max_retries, shards, outcomes, failures, status,
+            time.perf_counter() - started,
+        )
+        _RUN_REPORTS.append(summary)
+        if profiling:
+            registry = obs.registry()
+            registry.counter("parallel.shards_resumed").inc(
+                summary["shards"]["resumed"]
+            )
+            registry.counter("parallel.retries").inc(summary["retries"])
+        if store is not None:
+            store.write_manifest(summary)
+
+    return [outcomes[shard.key] for shard in shards]
+
+
+def _summarize(
+    label: str,
+    jobs: int,
+    max_retries: int,
+    shards: list[Shard],
+    outcomes: dict[str, ShardOutcome],
+    failures: list[dict],
+    status: str,
+    wall_seconds: float,
+) -> dict:
+    """The run manifest body: per-shard timings, worker load, retry counts."""
+    workers: dict[str, dict] = {}
+    cache = {"hits": 0, "misses": 0}
+    timings = []
+    for shard in shards:
+        outcome = outcomes.get(shard.key)
+        if outcome is None:
+            continue
+        timings.append(
+            {
+                "shard": shard.key,
+                "seconds": outcome.duration_seconds,
+                "pid": outcome.worker_pid,
+                "retries": outcome.retries,
+                "from_checkpoint": outcome.from_checkpoint,
+            }
+        )
+        if not outcome.from_checkpoint:
+            worker = workers.setdefault(
+                str(outcome.worker_pid), {"shards": 0, "seconds": 0.0}
+            )
+            worker["shards"] += 1
+            worker["seconds"] += outcome.duration_seconds
+            cache["hits"] += outcome.trace_cache.get("hits", 0)
+            cache["misses"] += outcome.trace_cache.get("misses", 0)
+    resumed = sum(1 for o in outcomes.values() if o.from_checkpoint)
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "label": label,
+        "status": status,
+        "jobs": jobs,
+        "max_retries": max_retries,
+        "wall_seconds": wall_seconds,
+        "shards": {
+            "total": len(shards),
+            "resumed": resumed,
+            "executed": len(outcomes) - resumed,
+            "incomplete": len(shards) - len(outcomes),
+        },
+        "retries": len(failures),
+        "failures": failures,
+        "workers": workers,
+        "trace_cache": cache,
+        "shard_timings": timings,
+    }
+
+
+# -- sweep entry points (called by repro.harness.sweep) ------------------------
+
+
+def accuracy_shard_grid(
+    families: list[str], budgets: list[int], benchmarks: list[str]
+) -> list[Shard]:
+    """Accuracy shards in the serial sweep's iteration order."""
+    return [
+        Shard("accuracy", benchmark, family, budget)
+        for benchmark in benchmarks
+        for family in families
+        for budget in budgets
+    ]
+
+
+def parallel_accuracy_sweep(
+    families: list[str],
+    budgets: list[int],
+    benchmarks: list[str],
+    instructions: int,
+    engine: str | None,
+    jobs: int | None = None,
+    run_dir: str | None = None,
+    max_retries: int | None = None,
+) -> list:
+    """The parallel counterpart of :func:`repro.harness.sweep.accuracy_sweep`.
+
+    Returns ``AccuracyCell`` rows identical (including float bit patterns)
+    to the serial path's, in the same order.
+    """
+    from repro.harness.experiment import default_engine
+    from repro.harness.scale import WARMUP_FRACTION
+    from repro.harness.sweep import AccuracyCell
+
+    cfg = {
+        "instructions": instructions,
+        "engine": engine if engine is not None else default_engine(),
+        "warmup_fraction": WARMUP_FRACTION,
+    }
+    outcomes = run_shards(
+        accuracy_shard_grid(families, budgets, benchmarks),
+        cfg,
+        jobs=jobs,
+        run_dir=run_dir,
+        max_retries=max_retries,
+        label="accuracy_sweep",
+    )
+    return [
+        AccuracyCell(
+            benchmark=o.shard.benchmark,
+            family=o.shard.family,
+            budget_bytes=o.shard.budget_bytes,
+            misprediction_percent=o.payload["misprediction_percent"],
+        )
+        for o in outcomes
+    ]
+
+
+def parallel_ipc_sweep(
+    families: list[str],
+    budgets: list[int],
+    mode: str,
+    benchmarks: list[str],
+    instructions: int,
+    config,
+    jobs: int | None = None,
+    run_dir: str | None = None,
+    max_retries: int | None = None,
+) -> list:
+    """The parallel counterpart of :func:`repro.harness.sweep.ipc_sweep`."""
+    from repro.harness.sweep import IpcCell
+
+    cfg = {"instructions": instructions, "machine": asdict(config)}
+    shards = [
+        Shard("ipc", benchmark, family, budget, mode)
+        for benchmark in benchmarks
+        for family in families
+        for budget in budgets
+    ]
+    outcomes = run_shards(
+        shards,
+        cfg,
+        jobs=jobs,
+        run_dir=run_dir,
+        max_retries=max_retries,
+        label=f"ipc_sweep.{mode}",
+    )
+    return [
+        IpcCell(
+            benchmark=o.shard.benchmark,
+            family=o.shard.family,
+            mode=o.shard.mode,
+            budget_bytes=o.shard.budget_bytes,
+            ipc=o.payload["ipc"],
+            misprediction_percent=o.payload["misprediction_percent"],
+            override_rate=o.payload["override_rate"],
+        )
+        for o in outcomes
+    ]

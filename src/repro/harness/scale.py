@@ -80,12 +80,13 @@ def resolved_config() -> dict:
     environment variables and defaults determine about an experiment, so a
     ``results/*.txt`` can be reproduced from its sidecar.
     """
-    from repro.harness.experiment import default_engine  # deferred: layering
+    from repro.harness.experiment import default_engine, default_jobs  # deferred: layering
 
     return {
         "scale": scale_factor(),
         "benchmarks": benchmark_names(),
         "engine": default_engine(),
+        "jobs": default_jobs(),
         "accuracy_instructions": accuracy_instructions(),
         "ipc_instructions": ipc_instructions(),
         "warmup_fraction": WARMUP_FRACTION,

@@ -4,10 +4,19 @@ A sweep runs one predictor configuration per (benchmark, budget) cell and
 aggregates across benchmarks per the paper's conventions.  Predictors are
 constructed fresh per cell (no state leaks across benchmarks), while traces
 are cached by the workload layer so the expensive part is paid once.
+
+Because cells are independent, both sweeps accept ``jobs`` (default: the
+``REPRO_JOBS`` environment variable, 1 = serial): with more than one job
+the grid is executed by the process-pool executor in
+:mod:`repro.harness.parallel`, which shards per cell, checkpoints finished
+shards under ``run_dir`` (default ``REPRO_RUN_DIR``) for crash resume, and
+merges results back in this module's serial iteration order — the returned
+cells are identical either way.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -36,6 +45,23 @@ FULL_BUDGETS = [2**k * 1024 for k in range(1, 10)]  # 2KB .. 512KB
 LARGE_BUDGETS = [2**k * 1024 for k in range(4, 10)]  # 16KB .. 512KB
 
 
+def _resolve_parallel(
+    jobs: int | None, run_dir: str | None
+) -> tuple[int, str | None]:
+    """Resolve the (jobs, run_dir) pair a sweep call should use.
+
+    ``jobs=None`` defers to ``REPRO_JOBS`` (default 1: serial in-process);
+    ``run_dir=None`` defers to ``REPRO_RUN_DIR`` (default: no checkpoints).
+    """
+    from repro.harness.experiment import default_jobs
+
+    if jobs is None:
+        jobs = default_jobs()
+    if run_dir is None:
+        run_dir = os.environ.get("REPRO_RUN_DIR", "").strip() or None
+    return jobs, run_dir
+
+
 def build_family(family: str, budget_bytes: int) -> BranchPredictor:
     """Construct any predictor family, including the pipelined single-cycle
     families (gshare_fast, bimode_fast) that live in repro.core."""
@@ -62,16 +88,38 @@ def accuracy_sweep(
     benchmarks: list[str] | None = None,
     instructions: int | None = None,
     engine: str | None = None,
+    jobs: int | None = None,
+    run_dir: str | None = None,
+    max_retries: int | None = None,
 ) -> list[AccuracyCell]:
     """Misprediction rate for every (family, budget, benchmark) cell.
 
     ``engine`` selects the evaluation engine per cell (scalar reference or
     the vectorized batch engine); ``None`` defers to ``REPRO_ENGINE``.
+
+    ``jobs`` > 1 fans the grid out across worker processes (``None`` defers
+    to ``REPRO_JOBS``); ``run_dir`` checkpoints finished shards there so an
+    interrupted sweep resumes without recomputation, retrying failed shards
+    ``max_retries`` times.  Results are identical to the serial path.
     """
     if benchmarks is None:
         benchmarks = benchmark_names()
     if instructions is None:
         instructions = accuracy_instructions()
+    jobs, run_dir = _resolve_parallel(jobs, run_dir)
+    if jobs > 1:
+        from repro.harness.parallel import parallel_accuracy_sweep
+
+        return parallel_accuracy_sweep(
+            families,
+            budgets,
+            benchmarks,
+            instructions,
+            engine,
+            jobs=jobs,
+            run_dir=run_dir,
+            max_retries=max_retries,
+        )
     cells = []
     for benchmark in benchmarks:
         with obs.span(
@@ -149,12 +197,34 @@ def ipc_sweep(
     benchmarks: list[str] | None = None,
     instructions: int | None = None,
     config: MachineConfig = PAPER_MACHINE,
+    jobs: int | None = None,
+    run_dir: str | None = None,
+    max_retries: int | None = None,
 ) -> list[IpcCell]:
-    """Cycle-simulated IPC for every (family, budget, benchmark) cell."""
+    """Cycle-simulated IPC for every (family, budget, benchmark) cell.
+
+    Parallel execution mirrors :func:`accuracy_sweep`: ``jobs`` > 1 shards
+    the grid across worker processes with optional ``run_dir`` checkpoints.
+    """
     if benchmarks is None:
         benchmarks = benchmark_names()
     if instructions is None:
         instructions = ipc_instructions()
+    jobs, run_dir = _resolve_parallel(jobs, run_dir)
+    if jobs > 1:
+        from repro.harness.parallel import parallel_ipc_sweep
+
+        return parallel_ipc_sweep(
+            families,
+            budgets,
+            mode,
+            benchmarks,
+            instructions,
+            config,
+            jobs=jobs,
+            run_dir=run_dir,
+            max_retries=max_retries,
+        )
     cells = []
     for benchmark in benchmarks:
         with obs.span(

@@ -18,6 +18,8 @@ Figure 6 and the branch-prediction literature):
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from functools import lru_cache
 
 from repro.common.errors import ConfigurationError
@@ -241,14 +243,76 @@ def get_profile(name: str) -> WorkloadProfile:
         ) from None
 
 
-@lru_cache(maxsize=32)
+#: Default capacity of the per-process trace cache (entries).
+TRACE_CACHE_CAPACITY = 32
+
+_trace_cache: OrderedDict[tuple[str, int, int], Trace] = OrderedDict()
+_trace_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def trace_cache_capacity() -> int:
+    """Trace-cache capacity: ``REPRO_TRACE_CACHE`` override or the default.
+
+    Parallel sweep workers each own one of these caches, so the capacity
+    bounds *per-worker* memory, not a shared pool.
+    """
+    raw = os.environ.get("REPRO_TRACE_CACHE")
+    if raw is None or not raw.strip():
+        return TRACE_CACHE_CAPACITY
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_TRACE_CACHE must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(f"REPRO_TRACE_CACHE must be >= 1, got {value}")
+    return value
+
+
+def trace_cache_info() -> dict:
+    """Hit/miss/eviction counts and current occupancy of the trace cache.
+
+    The parallel sweep executor snapshots this around each shard so run
+    manifests can report how often workers re-decoded a benchmark trace.
+    """
+    return {
+        "hits": _trace_cache_stats["hits"],
+        "misses": _trace_cache_stats["misses"],
+        "evictions": _trace_cache_stats["evictions"],
+        "entries": len(_trace_cache),
+        "capacity": trace_cache_capacity(),
+    }
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace and zero the cache statistics."""
+    _trace_cache.clear()
+    for key in _trace_cache_stats:
+        _trace_cache_stats[key] = 0
+
+
 def _cached_trace(name: str, instructions: int, seed: int) -> Trace:
+    """LRU-cached trace generation, keyed by (benchmark, length, seed)."""
+    key = (name, instructions, seed)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        _trace_cache_stats["hits"] += 1
+        _trace_cache.move_to_end(key)
+        return cached
+    _trace_cache_stats["misses"] += 1
     profile = get_profile(name)
     program = build_program(profile)
     executor = ProgramExecutor(
         program, seed=seed, memory=profile.memory, hidden_bits=profile.hidden_bits
     )
-    return executor.run(instructions)
+    trace = executor.run(instructions)
+    _trace_cache[key] = trace
+    capacity = trace_cache_capacity()
+    while len(_trace_cache) > capacity:
+        _trace_cache.popitem(last=False)
+        _trace_cache_stats["evictions"] += 1
+    return trace
 
 
 def spec2000_trace(

@@ -19,15 +19,23 @@ Fixtures:
 
 Regenerating is the *intentional* way to accept a behaviour change: rerun
 this script, eyeball the diff, and commit the new fixtures with the change
-that caused them.
+that caused them.  To keep that diff honest, the script refuses to run
+while the working tree has uncommitted changes (fixtures regenerated on
+top of unrelated edits are impossible to review); pass ``--force`` to
+override.  It also prints the engine and seed each fixture was generated
+with, so the commit message can record them.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
+import subprocess
+import sys
 from pathlib import Path
 
 GOLDEN_DIR = Path(__file__).resolve().parent
+REPO_ROOT = GOLDEN_DIR.parent.parent
 
 #: Fixed configuration for the small Figure 1 fixture (kept identical in
 #: tests/test_golden.py — change both together).
@@ -42,6 +50,28 @@ STREAM_INSTRUCTIONS = 40_000
 STREAM_BRANCHES = 2_500
 
 
+def dirty_files() -> list[str]:
+    """Paths with uncommitted changes (``git status --porcelain``).
+
+    Returns [] when the tree is clean or when git is unavailable (for
+    example a source tarball) — the guard only blocks when it *knows*
+    the tree is dirty.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return []
+    if proc.returncode != 0:
+        return []
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
 def regen_branch_stream() -> None:
     from repro.workloads.spec2000 import spec2000_trace
 
@@ -52,26 +82,55 @@ def regen_branch_stream() -> None:
     for pc, taken in list(trace.conditional_branches())[:STREAM_BRANCHES]:
         lines.append(f"{pc:#x},{int(taken)}")
     (GOLDEN_DIR / "branch_stream.csv").write_text("\n".join(lines) + "\n")
-    print(f"branch_stream.csv: {len(lines) - 1} branches")
+    print(
+        f"branch_stream.csv: {len(lines) - 1} branches "
+        f"(benchmark={STREAM_BENCHMARK}, seed={STREAM_SEED})"
+    )
 
 
 def regen_table2() -> None:
     from repro.harness.figures import table2
 
     (GOLDEN_DIR / "table2.txt").write_text(table2() + "\n")
-    print("table2.txt")
+    print("table2.txt (pure delay model; no engine or seed)")
 
 
 def regen_figure1_small() -> None:
     os.environ["REPRO_BENCHMARKS"] = FIGURE1_BENCHMARKS
+    from repro.harness.experiment import default_engine
     from repro.harness.figures import figure1
 
     figure = figure1(budgets=FIGURE1_BUDGETS, instructions=FIGURE1_INSTRUCTIONS)
     (GOLDEN_DIR / "figure1_small.txt").write_text(figure.render() + "\n")
-    print("figure1_small.txt")
+    print(
+        f"figure1_small.txt (engine={default_engine()}, "
+        f"benchmarks={FIGURE1_BENCHMARKS}, default trace seeds)"
+    )
 
 
-if __name__ == "__main__":
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="regenerate even with uncommitted changes in the working tree",
+    )
+    args = parser.parse_args(argv)
+    dirty = dirty_files()
+    if dirty and not args.force:
+        print(
+            "refusing to regenerate golden fixtures: the working tree has "
+            "uncommitted changes, so the fixture diff would mix with them.\n"
+            "Commit or stash first, or rerun with --force:\n  "
+            + "\n  ".join(dirty),
+            file=sys.stderr,
+        )
+        return 1
     regen_branch_stream()
     regen_table2()
     regen_figure1_small()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Cross-predictor conformance matrix.
+
+Every predictor the factory can build (plus the pipelined ``repro.core``
+families) must honour one shared contract, regardless of internal
+organization:
+
+* **protocol** — strict predict-then-update alternation, enforced with
+  :class:`ProtocolError` on every violation;
+* **determinism** — two instances fed the same trace agree exactly,
+  branch for branch (the whole pipeline is a pure function of its seeds);
+* **sizing** — the built predictor fits the requested hardware budget
+  (with the 5% allowance the sizing layer grants for non-table state such
+  as history registers and pipeline latches);
+* **sweep equality** — the parallel sweep executor produces exactly the
+  cells the serial path produces, for every family at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.harness.sweep import accuracy_sweep, build_family
+from repro.predictors.factory import predictor_families
+
+#: Every constructible family: the factory's plus the pipelined core ones.
+ALL_FAMILIES = predictor_families() + ["gshare_fast", "bimode_fast"]
+
+CONFORMANCE_BUDGET = 8 * 1024
+
+
+def branch_stream(trace, limit=1200):
+    """The first ``limit`` (pc, taken) conditional branches of ``trace``."""
+    stream = []
+    for pc, taken in trace.conditional_branches():
+        stream.append((pc, taken))
+        if len(stream) >= limit:
+            break
+    return stream
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+class TestPredictorContract:
+    def test_predict_twice_raises(self, family):
+        predictor = build_family(family, CONFORMANCE_BUDGET)
+        predictor.predict(0x4000)
+        with pytest.raises(ProtocolError):
+            predictor.predict(0x4004)
+
+    def test_update_without_predict_raises(self, family):
+        predictor = build_family(family, CONFORMANCE_BUDGET)
+        with pytest.raises(ProtocolError):
+            predictor.update(0x4000, True)
+
+    def test_update_wrong_pc_raises(self, family):
+        predictor = build_family(family, CONFORMANCE_BUDGET)
+        predictor.predict(0x4000)
+        with pytest.raises(ProtocolError):
+            predictor.update(0x4008, True)
+
+    def test_predict_then_update_roundtrip(self, family):
+        predictor = build_family(family, CONFORMANCE_BUDGET)
+        prediction = predictor.predict(0x4000)
+        assert isinstance(prediction, bool)
+        correct = predictor.update(0x4000, prediction)
+        assert correct is True
+        assert predictor.stats.predictions == 1
+        assert predictor.stats.mispredictions == 0
+
+    def test_two_instances_agree_exactly(self, family, small_trace):
+        """Seeded determinism: identical instances on an identical trace
+        produce the identical per-branch prediction stream."""
+        stream = branch_stream(small_trace)
+        first = build_family(family, CONFORMANCE_BUDGET)
+        second = build_family(family, CONFORMANCE_BUDGET)
+        for pc, taken in stream:
+            assert first.predict(pc) == second.predict(pc)
+            assert first.update(pc, taken) == second.update(pc, taken)
+        assert first.stats.predictions == second.stats.predictions == len(stream)
+        assert first.stats.mispredictions == second.stats.mispredictions
+
+    @pytest.mark.parametrize("budget", [4 * 1024, 64 * 1024])
+    def test_sizing_within_budget(self, family, budget):
+        predictor = build_family(family, budget)
+        assert 0 < predictor.storage_bits
+        # Same allowance as the sizing layer: tables fill the budget,
+        # history registers / pipeline latches may add a few percent.
+        assert predictor.storage_bytes <= budget * 1.05
+
+    def test_sizing_monotonic(self, family):
+        small = build_family(family, 4 * 1024).storage_bits
+        large = build_family(family, 64 * 1024).storage_bits
+        assert large > small
+
+
+def test_serial_and_parallel_sweeps_agree_for_every_family():
+    """The whole matrix through both sweep engines: cell-for-cell equality
+    (including float bit patterns) between jobs=1 and jobs=2."""
+    kwargs = dict(
+        families=ALL_FAMILIES,
+        budgets=[CONFORMANCE_BUDGET],
+        benchmarks=["gcc", "eon"],
+        instructions=20_000,
+    )
+    serial = accuracy_sweep(**kwargs, jobs=1)
+    parallel = accuracy_sweep(**kwargs, jobs=2)
+    assert serial == parallel
+    assert [
+        (cell.benchmark, cell.family, cell.budget_bytes) for cell in serial
+    ] == [
+        ("gcc", family, CONFORMANCE_BUDGET) for family in ALL_FAMILIES
+    ] + [
+        ("eon", family, CONFORMANCE_BUDGET) for family in ALL_FAMILIES
+    ]

@@ -13,12 +13,12 @@ import numpy as np
 
 from repro.common.rng import derive, derive_seed
 from repro.harness.sweep import accuracy_sweep
-from repro.workloads.spec2000 import _cached_trace, spec2000_trace
+from repro.workloads.spec2000 import clear_trace_cache, spec2000_trace
 
 
 def fresh_trace(name: str, instructions: int, seed: int = 1):
-    """Generate a trace bypassing the lru_cache (forces a fresh executor)."""
-    _cached_trace.cache_clear()
+    """Generate a trace bypassing the trace cache (forces a fresh executor)."""
+    clear_trace_cache()
     return spec2000_trace(name, instructions=instructions, seed=seed)
 
 
@@ -44,11 +44,11 @@ def test_sweep_statistics_are_reproducible():
         benchmarks=["gcc", "eon"],
         instructions=30_000,
     )
-    _cached_trace.cache_clear()
+    clear_trace_cache()
     first = accuracy_sweep(**kwargs, engine="batch")
-    _cached_trace.cache_clear()
+    clear_trace_cache()
     second = accuracy_sweep(**kwargs, engine="batch")
-    _cached_trace.cache_clear()
+    clear_trace_cache()
     scalar = accuracy_sweep(**kwargs, engine="scalar")
     assert first == second
     assert first == scalar

@@ -1,0 +1,163 @@
+"""Hypothesis fuzz of the overriding / dual-path timing wrappers.
+
+Property-based counterpart to the example-based tests in
+``test_overriding.py``: random branch streams and random latency
+configurations must never produce negative penalty cycles, and the
+quick/slow agreement accounting must always sum back to the total number
+of predicted branches.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.dualpath import DualPathPolicy
+from repro.core.overriding import OverridingPredictor
+from repro.obs.registry import MetricsRegistry
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.uarch.policies import DualPathFetchPolicy, OverridingPolicy
+
+#: A random conditional-branch stream: a few distinct sites, arbitrary
+#: outcome sequences — enough to exercise agreement and disagreement.
+branch_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7).map(lambda i: 0x4000 + 4 * i),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+latencies = st.integers(min_value=1, max_value=10)
+
+
+def make_overriding(slow_latency: int, quick_latency: int = 1) -> OverridingPredictor:
+    # Tiny, differently-organized components so quick/slow genuinely
+    # disagree on some fuzzed streams.
+    return OverridingPredictor(
+        slow=GsharePredictor(entries=64),
+        slow_latency=slow_latency,
+        quick=BimodalPredictor(entries=16),
+        quick_latency=quick_latency,
+    )
+
+
+@given(stream=branch_streams, slow_latency=latencies)
+@settings(max_examples=60, deadline=None)
+def test_override_accounting_sums_to_total(stream, slow_latency):
+    """agreements + disagreements == predictions, and the recorded penalty
+    is exactly disagreements x slow latency — never negative."""
+    overriding = make_overriding(slow_latency)
+    policy = OverridingPolicy(overriding)
+    expected_bubbles = 0
+    for pc, taken in stream:
+        prediction = policy.predict(pc)
+        assert prediction.bubble_cycles >= 0
+        assert prediction.half_width_cycles == 0
+        assert prediction.bubble_cycles in (0, slow_latency)
+        expected_bubbles += prediction.bubble_cycles
+        policy.update(pc, taken)
+
+    stats = overriding.stats
+    assert stats.predictions == len(stream)
+    assert 0 <= stats.overrides <= stats.predictions
+    assert 0 <= stats.quick_mispredictions <= stats.predictions
+    assert 0 <= stats.final_mispredictions <= stats.predictions
+
+    registry = MetricsRegistry()
+    overriding.record_stats(registry)
+    counters = registry.snapshot()["counters"]
+    if stats.predictions == 0:
+        # Nothing happened: record_stats must not invent counters.
+        assert counters == {}
+        return
+    assert counters["override.predictions"] == stats.predictions
+    assert (
+        counters["override.agreements"] + counters["override.disagreements"]
+        == stats.predictions
+    )
+    assert counters["override.disagreements"] == stats.overrides
+    assert counters["override.penalty_cycles"] == stats.overrides * slow_latency
+    assert counters["override.penalty_cycles"] >= 0
+
+
+@given(stream=branch_streams, slow_latency=latencies)
+@settings(max_examples=40, deadline=None)
+def test_override_record_stats_deltas_never_double_count(stream, slow_latency):
+    """Flushing mid-stream and at the end must add up to one full flush."""
+    overriding = make_overriding(slow_latency)
+    registry = MetricsRegistry()
+    for index, (pc, taken) in enumerate(stream):
+        overriding.predict(pc)
+        overriding.update(pc, taken)
+        if index % 7 == 0:
+            overriding.record_stats(registry)
+    overriding.record_stats(registry)
+    counters = registry.snapshot()["counters"]
+    stats = overriding.stats
+    if stats.predictions == 0:
+        assert counters == {}
+        return
+    assert counters["override.predictions"] == stats.predictions
+    assert counters["override.disagreements"] == stats.overrides
+    assert counters["override.penalty_cycles"] == stats.overrides * slow_latency
+
+
+@given(
+    stream=branch_streams,
+    slow_latency=latencies,
+    quick_latency=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_override_final_prediction_is_slow_components(
+    stream, slow_latency, quick_latency
+):
+    """The overriding pair's final direction always equals what an identical
+    standalone slow predictor would say (the slow component has the last
+    word), for any legal latency pair."""
+    if quick_latency > slow_latency:
+        with pytest.raises(ConfigurationError):
+            make_overriding(slow_latency, quick_latency)
+        return
+    overriding = make_overriding(slow_latency, quick_latency)
+    reference = GsharePredictor(entries=64)
+    for pc, taken in stream:
+        outcome = overriding.predict(pc)
+        assert outcome.final_taken == reference.predict(pc)
+        assert outcome.overridden == (outcome.quick_taken != outcome.final_taken)
+        overriding.update(pc, taken)
+        reference.update(pc, taken)
+
+
+@given(stream=branch_streams, latency=latencies)
+@settings(max_examples=40, deadline=None)
+def test_dualpath_windows_cover_every_branch(stream, latency):
+    """Dual-path fetch: every branch opens exactly one half-width window of
+    ``latency`` cycles, never a bubble, never a negative cost."""
+    policy = DualPathFetchPolicy(
+        DualPathPolicy(predictor=GsharePredictor(entries=64), latency=latency)
+    )
+    total_half_width = 0
+    for pc, taken in stream:
+        prediction = policy.predict(pc)
+        assert prediction.bubble_cycles == 0
+        assert prediction.half_width_cycles == latency >= 1
+        total_half_width += prediction.half_width_cycles
+        policy.update(pc, taken)
+    assert total_half_width == len(stream) * latency
+
+
+@given(latency=st.integers(min_value=-5, max_value=0))
+def test_dualpath_rejects_nonpositive_latency(latency):
+    with pytest.raises(ConfigurationError):
+        DualPathPolicy(predictor=GsharePredictor(entries=64), latency=latency)
+
+
+@given(latency=st.integers(min_value=-5, max_value=0))
+def test_overriding_rejects_nonpositive_latency(latency):
+    with pytest.raises(ConfigurationError):
+        OverridingPredictor(slow=GsharePredictor(entries=64), slow_latency=latency)

@@ -66,3 +66,40 @@ def test_golden_branch_stream_matches_workload():
     ]
     live = list(trace.conditional_branches())[: len(recorded)]
     assert live == recorded
+
+
+def test_regen_refuses_dirty_tree(monkeypatch, capsys):
+    """regen.py must not rewrite fixtures on top of uncommitted changes."""
+    from tests.golden import regen
+
+    calls = []
+    for name in ("regen_branch_stream", "regen_table2", "regen_figure1_small"):
+        monkeypatch.setattr(regen, name, lambda name=name: calls.append(name))
+    monkeypatch.setattr(regen, "dirty_files", lambda: [" M src/thing.py"])
+    assert regen.main([]) == 1
+    assert calls == []
+    assert "uncommitted changes" in capsys.readouterr().err
+
+    # --force overrides the guard; a clean tree never needed it.
+    assert regen.main(["--force"]) == 0
+    monkeypatch.setattr(regen, "dirty_files", lambda: [])
+    assert regen.main([]) == 0
+    assert len(calls) == 6
+
+
+def test_regen_prints_engine_and_seed(monkeypatch, capsys, tmp_path):
+    """The regen log records what the fixtures were generated with."""
+    from tests.golden import regen
+
+    monkeypatch.setattr(regen, "GOLDEN_DIR", tmp_path)
+    monkeypatch.setattr(regen, "dirty_files", lambda: [])
+    # regen_figure1_small writes REPRO_BENCHMARKS into os.environ;
+    # registering it here makes monkeypatch restore the original value.
+    monkeypatch.setenv("REPRO_BENCHMARKS", FIGURE1_BENCHMARKS)
+    assert regen.main([]) == 0
+    out = capsys.readouterr().out
+    assert f"seed={STREAM_SEED}" in out
+    assert "engine=" in out
+    assert (tmp_path / "branch_stream.csv").exists()
+    assert (tmp_path / "table2.txt").exists()
+    assert (tmp_path / "figure1_small.txt").exists()

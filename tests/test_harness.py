@@ -134,11 +134,13 @@ class TestScale:
         monkeypatch.setenv("REPRO_SCALE", "0.5")
         monkeypatch.setenv("REPRO_BENCHMARKS", "gcc,eon")
         monkeypatch.setenv("REPRO_ENGINE", "scalar")
+        monkeypatch.setenv("REPRO_JOBS", "3")
         config = resolved_config()
         assert set(config) == {
             "scale",
             "benchmarks",
             "engine",
+            "jobs",
             "accuracy_instructions",
             "ipc_instructions",
             "warmup_fraction",
@@ -146,6 +148,7 @@ class TestScale:
         assert config["scale"] == 0.5
         assert config["benchmarks"] == ["gcc", "eon"]
         assert config["engine"] == "scalar"
+        assert config["jobs"] == 3
         assert config["accuracy_instructions"] == 300_000
 
 
