@@ -31,19 +31,27 @@ Quick start::
 
 from repro.core import GshareFastPredictor, OverridingPredictor, build_gshare_fast
 from repro.harness.experiment import measure_accuracy, measure_override
-from repro.predictors import BranchPredictor, build_predictor, predictor_families
+from repro.predictors import (
+    BranchPredictor,
+    FamilySpec,
+    build_predictor,
+    family_names,
+    predictor_families,
+)
 from repro.timing import PAPER_CLOCK, predictor_latency
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BranchPredictor",
+    "FamilySpec",
     "GshareFastPredictor",
     "OverridingPredictor",
     "PAPER_CLOCK",
     "__version__",
     "build_gshare_fast",
     "build_predictor",
+    "family_names",
     "measure_accuracy",
     "measure_override",
     "predictor_families",

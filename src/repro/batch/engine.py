@@ -318,21 +318,46 @@ class _BiModeKernel:
 
 # -- dispatch ------------------------------------------------------------------
 
-_KERNELS = {
-    BimodalPredictor: _BimodalKernel,
-    GsharePredictor: _GshareKernel,
-    GshareFastPredictor: _GshareFastKernel,
-    BiModePredictor: _BiModeKernel,
+#: Kernel implementations by the name a FamilySpec's ``batch_kernel`` flag
+#: uses.  A family opts into batch evaluation by declaring one of these
+#: names in its registry spec — no edits here needed.
+KERNELS = {
+    "bimodal": _BimodalKernel,
+    "gshare": _GshareKernel,
+    "gshare_fast": _GshareFastKernel,
+    "bimode": _BiModeKernel,
 }
 
 
-def supports_batch(predictor: BranchPredictor) -> bool:
-    """True when ``predictor`` has a bit-exact batch kernel.
+def _kernel_for(predictor: BranchPredictor):
+    """The kernel class for ``predictor``, or None for scalar-only types.
 
-    Dispatch is on the exact type: a subclass may override indexing or
+    Dispatch goes through the family registry's capability flag and matches
+    the predictor's *exact* type: a subclass may override indexing or
     update rules the kernel would silently ignore.
     """
-    return type(predictor) in _KERNELS
+    from repro.predictors import registry
+
+    spec = registry.spec_for_predictor(predictor)
+    if spec is None or spec.batch_kernel is None:
+        return None
+    try:
+        return KERNELS[spec.batch_kernel]
+    except KeyError:
+        raise ConfigurationError(
+            f"family {spec.name!r} declares batch kernel {spec.batch_kernel!r}, "
+            f"which this engine does not implement "
+            f"(known: {', '.join(sorted(KERNELS))})"
+        ) from None
+
+
+def supports_batch(predictor: BranchPredictor) -> bool:
+    """True when ``predictor``'s family declares a bit-exact batch kernel.
+
+    Exact-type dispatch (via :func:`repro.predictors.registry.
+    spec_for_predictor`): a subclass never inherits its parent's kernel.
+    """
+    return _kernel_for(predictor) is not None
 
 
 def evaluate_stream(
@@ -348,7 +373,7 @@ def evaluate_stream(
     exactly the state a scalar ``predict``/``update`` replay would leave:
     trained tables, advanced history, stats, pending delayed updates.
     """
-    kernel_type = _KERNELS.get(type(predictor))
+    kernel_type = _kernel_for(predictor)
     if kernel_type is None:
         raise ConfigurationError(
             f"no batch kernel for predictor type {type(predictor).__name__}; "

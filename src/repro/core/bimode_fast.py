@@ -144,19 +144,47 @@ class BiModeFastPredictor(BranchPredictor):
         self._history = ((self._history << 1) | int(taken)) & mask(self._history_bits)
 
 
+def bimode_fast_from_config(config) -> BiModeFastPredictor:
+    """bimode.fast from a sized configuration (latency/buffer widths come
+    from the SRAM delay model at the paper's clock)."""
+    return BiModeFastPredictor(
+        direction_entries=config.direction_entries,
+        choice_entries=config.choice_entries,
+    )
+
+
 def build_bimode_fast(budget_bytes: int, clock: ClockModel = PAPER_CLOCK) -> BiModeFastPredictor:
     """Size a bimode.fast for ``budget_bytes``.
 
     The choice table takes its single-cycle maximum (1K entries, 256 bytes);
     the two direction tables split the rest evenly.
     """
-    from repro.predictors.sizing import floor_pow2, validate_budget
+    from repro.predictors.sizing import size_bimode_fast, validate_budget
 
     validate_budget(budget_bytes)
-    choice_entries = MAX_CHOICE_ENTRIES
-    choice_bytes = choice_entries * 2 // 8
-    remaining_bits = (budget_bytes - choice_bytes) * 8
-    direction_entries = floor_pow2(max(remaining_bits // 2 // 2, 64))
+    config = size_bimode_fast(budget_bytes)
     return BiModeFastPredictor(
-        direction_entries=direction_entries, choice_entries=choice_entries, clock=clock
+        direction_entries=config.direction_entries,
+        choice_entries=config.choice_entries,
+        clock=clock,
     )
+
+
+def _register() -> None:
+    """Enroll bimode.fast in the declarative family registry."""
+    from repro.predictors.registry import FamilySpec, register
+    from repro.predictors.sizing import BiModeFastConfig, size_bimode_fast
+
+    register(
+        FamilySpec(
+            name="bimode_fast",
+            config_type=BiModeFastConfig,
+            sizer=size_bimode_fast,
+            builder=bimode_fast_from_config,
+            predictor_type=BiModeFastPredictor,
+            single_cycle=True,
+        )
+    )
+
+
+_register()

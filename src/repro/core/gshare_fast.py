@@ -179,6 +179,14 @@ class GshareFastPredictor(BranchPredictor):
         self._deferred_updates.flush()
 
 
+def gshare_fast_from_config(config) -> GshareFastPredictor:
+    """gshare.fast from a sized configuration (latency/buffer widths come
+    from the SRAM delay model at the paper's clock)."""
+    return GshareFastPredictor(
+        entries=config.entries, update_delay=config.update_delay
+    )
+
+
 def build_gshare_fast(
     budget_bytes: int,
     update_delay: int = 0,
@@ -186,9 +194,30 @@ def build_gshare_fast(
 ) -> GshareFastPredictor:
     """Size a gshare.fast for ``budget_bytes``: the PHT fills the budget and
     the PHT latency comes from the SRAM delay model."""
-    from repro.predictors.sizing import size_gshare
+    from repro.predictors.sizing import size_gshare_fast
 
-    config = size_gshare(budget_bytes)
+    config = size_gshare_fast(budget_bytes, update_delay=update_delay)
     return GshareFastPredictor(
-        entries=config.entries, update_delay=update_delay, clock=clock
+        entries=config.entries, update_delay=config.update_delay, clock=clock
     )
+
+
+def _register() -> None:
+    """Enroll gshare.fast in the declarative family registry."""
+    from repro.predictors.registry import FamilySpec, register
+    from repro.predictors.sizing import GshareFastConfig, size_gshare_fast
+
+    register(
+        FamilySpec(
+            name="gshare_fast",
+            config_type=GshareFastConfig,
+            sizer=size_gshare_fast,
+            builder=gshare_fast_from_config,
+            predictor_type=GshareFastPredictor,
+            batch_kernel="gshare_fast",
+            single_cycle=True,
+        )
+    )
+
+
+_register()

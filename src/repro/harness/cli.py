@@ -7,6 +7,7 @@ Usage::
     repro-figures all                        # everything (slow at large REPRO_SCALE)
     repro-figures all --output-dir results/  # write .txt + manifest sidecars
     repro-figures table2 --profile           # metrics tables + manifest
+    repro-figures --list-families            # the registered predictor zoo
 
 Scale with ``REPRO_SCALE`` (trace length multiplier) and
 ``REPRO_BENCHMARKS`` (subset of benchmark names); pick the accuracy
@@ -142,6 +143,30 @@ def _run_target(target: str, output_dir: str | None, profile: bool) -> None:
         print()
 
 
+def _render_families() -> str:
+    """The registry as a text table (``--list-families``)."""
+    from repro.harness.report import render_table
+    from repro.predictors import registry
+
+    rows = []
+    for spec in registry.specs():
+        rows.append(
+            (
+                spec.name,
+                spec.config_type.__name__,
+                spec.batch_kernel or "-",
+                "yes" if spec.single_cycle else "no",
+                "yes" if spec.override_eligible else "no",
+                spec.module,
+            )
+        )
+    return render_table(
+        "Registered predictor families",
+        ["family", "config", "batch kernel", "single-cycle", "override", "module"],
+        rows,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: regenerate the requested figures/tables."""
     parser = argparse.ArgumentParser(
@@ -150,9 +175,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "targets",
-        nargs="+",
-        choices=[*RUNNERS, "all"],
-        help="which figures/tables to regenerate",
+        nargs="*",
+        metavar="target",
+        # Not argparse `choices`: with nargs="*" those reject an empty
+        # list, breaking a bare `--list-families` invocation.  Unknown
+        # targets are checked below with the same exit semantics.
+        help=f"which figures/tables to regenerate: {', '.join([*RUNNERS, 'all'])}",
+    )
+    parser.add_argument(
+        "--list-families",
+        action="store_true",
+        help="list every registered predictor family with its capability "
+        "flags (from the declarative registry) and exit",
     )
     parser.add_argument(
         "--engine",
@@ -211,6 +245,17 @@ def main(argv: list[str] | None = None) -> int:
         help="mirror span open/close progress lines on stderr",
     )
     args = parser.parse_args(argv)
+    if args.list_families:
+        print(_render_families())
+        return 0
+    if not args.targets:
+        parser.error("no targets given (or use --list-families)")
+    for target in args.targets:
+        if target not in RUNNERS and target != "all":
+            parser.error(
+                f"unknown target {target!r} (choose from "
+                f"{', '.join([*RUNNERS, 'all'])})"
+            )
     if args.engine is not None:
         # Runners take no arguments; the environment variable is the
         # process-wide channel every sweep already consults.

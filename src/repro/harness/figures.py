@@ -58,6 +58,9 @@ MID_BUDGET = 64 * 1024
 FIGURE1_FAMILIES = ["gshare", "bimode", "multicomponent", "perceptron"]
 FIGURE5_FAMILIES = ["2bcgskew", "multicomponent", "perceptron", "gshare_fast"]
 FIGURE7_FAMILIES = ["2bcgskew", "multicomponent", "perceptron"]
+FIGURE6_FAMILIES = ["multicomponent", "perceptron", "gshare_fast"]
+FIGURE8_FAMILIES = ["multicomponent", "perceptron", "gshare_fast"]
+EXTENSION_FAMILIES = ["gshare_fast", "bimode_fast"]
 
 
 @dataclass
@@ -235,10 +238,9 @@ def figure6(
     """Per-benchmark misprediction rates at the mid (53-64KB) budget
     (Figure 6)."""
     benchmarks = benchmark_names()
-    families = ["multicomponent", "perceptron", "gshare_fast"]
     with obs.span("figure6.sweep", budget=budget_bytes):
         cells = accuracy_sweep(
-            families,
+            FIGURE6_FAMILIES,
             [budget_bytes],
             benchmarks=benchmarks,
             instructions=instructions,
@@ -307,10 +309,9 @@ def figure8(
         benchmarks=benchmarks,
         mean_label="harm.mean",
     )
-    families = ["multicomponent", "perceptron", "gshare_fast"]
     with obs.span("figure8.sweep", budget=budget_bytes):
         cells = ipc_sweep(
-            families,
+            FIGURE8_FAMILIES,
             [budget_bytes],
             mode="overriding",
             benchmarks=benchmarks,
@@ -341,7 +342,7 @@ def extension_pipelined_families(
     budgets = budgets or LARGE_BUDGETS
     with obs.span("extension.sweep", budgets=len(budgets)):
         cells = accuracy_sweep(
-            ["gshare_fast", "bimode_fast"],
+            EXTENSION_FAMILIES,
             budgets,
             instructions=instructions,
             engine=engine,

@@ -125,7 +125,20 @@ def resolve_max_retries(max_retries: int | None = None) -> int:
 # -- worker side ---------------------------------------------------------------
 
 
-def _execute_shard(shard: Shard, cfg: dict, attempt: int) -> dict:
+def _build_shard_predictor(shard: Shard, spec_payload: dict | None):
+    """The shard's predictor: rebuilt from the parent's serialized spec when
+    one travelled with the shard (sizing ran once, in the parent), else
+    sized fresh from the registry — bit-identical either way."""
+    from repro.predictors import registry
+
+    if spec_payload is not None:
+        return registry.build_serialized(spec_payload)
+    return registry.build(shard.family, shard.budget_bytes)
+
+
+def _execute_shard(
+    shard: Shard, cfg: dict, attempt: int, spec_payload: dict | None = None
+) -> dict:
     """Run one shard in a worker process; returns a JSON-able result dict.
 
     Deferred imports keep executor scheduling importable without dragging in
@@ -146,11 +159,10 @@ def _execute_shard(shard: Shard, cfg: dict, attempt: int) -> dict:
     started = time.perf_counter()
     if shard.kind == "accuracy":
         from repro.harness.experiment import measure_accuracy
-        from repro.harness.sweep import build_family
 
         trace = spec2000_trace(shard.benchmark, instructions=cfg["instructions"])
         warmup = warmup_branches(trace.conditional_branch_count)
-        predictor = build_family(shard.family, shard.budget_bytes)
+        predictor = _build_shard_predictor(shard, spec_payload)
         result = measure_accuracy(
             predictor, trace, warmup_branches=warmup, engine=cfg["engine"]
         )
@@ -162,7 +174,12 @@ def _execute_shard(shard: Shard, cfg: dict, attempt: int) -> dict:
         from repro.workloads.spec2000 import get_profile
 
         trace = spec2000_trace(shard.benchmark, instructions=cfg["instructions"])
-        policy = make_policy(shard.family, shard.budget_bytes, shard.mode)
+        policy = make_policy(
+            shard.family,
+            shard.budget_bytes,
+            shard.mode,
+            predictor=_build_shard_predictor(shard, spec_payload),
+        )
         simulator = CycleSimulator(
             policy,
             config=MachineConfig(**cfg["machine"]),
@@ -335,6 +352,7 @@ def run_shards(
     jobs = pool_jobs(jobs)
     max_retries = resolve_max_retries(max_retries)
     cfg = _json_roundtrip(cfg)
+    spec_payloads = _shard_spec_payloads(shards)
     kinds = {shard.kind for shard in shards}
     store = None
     if run_dir is not None:
@@ -378,7 +396,13 @@ def run_shards(
                 round_shards = list(remaining.values())
                 with ProcessPoolExecutor(max_workers=jobs) as pool:
                     futures = {
-                        pool.submit(_execute_shard, shard, cfg, attempts[shard.key]): shard
+                        pool.submit(
+                            _execute_shard,
+                            shard,
+                            cfg,
+                            attempts[shard.key],
+                            spec_payloads[(shard.family, shard.budget_bytes)],
+                        ): shard
                         for shard in round_shards
                     }
                     pending = set(futures)
@@ -436,7 +460,7 @@ def run_shards(
     finally:
         summary = _summarize(
             label, jobs, max_retries, shards, outcomes, failures, status,
-            time.perf_counter() - started,
+            time.perf_counter() - started, spec_payloads,
         )
         _RUN_REPORTS.append(summary)
         if profiling:
@@ -451,6 +475,26 @@ def run_shards(
     return [outcomes[shard.key] for shard in shards]
 
 
+def _shard_spec_payloads(shards: list[Shard]) -> dict[tuple[str, int], dict | None]:
+    """Serialized specs keyed by (family, budget): sizing runs once, here in
+    the parent, and workers rebuild bit-identical predictors from the
+    embedded configs.  A family the registry cannot resolve maps to None —
+    the worker falls back to its own registry build (and raises the same
+    error the serial path would)."""
+    from repro.predictors import registry
+
+    payloads: dict[tuple[str, int], dict | None] = {}
+    for shard in shards:
+        key = (shard.family, shard.budget_bytes)
+        if key in payloads:
+            continue
+        try:
+            payloads[key] = registry.serialize_spec(shard.family, shard.budget_bytes)
+        except ReproError:
+            payloads[key] = None
+    return payloads
+
+
 def _summarize(
     label: str,
     jobs: int,
@@ -460,6 +504,7 @@ def _summarize(
     failures: list[dict],
     status: str,
     wall_seconds: float,
+    spec_payloads: dict[tuple[str, int], dict | None] | None = None,
 ) -> dict:
     """The run manifest body: per-shard timings, worker load, retry counts."""
     workers: dict[str, dict] = {}
@@ -487,8 +532,13 @@ def _summarize(
             cache["hits"] += outcome.trace_cache.get("hits", 0)
             cache["misses"] += outcome.trace_cache.get("misses", 0)
     resumed = sum(1 for o in outcomes.values() if o.from_checkpoint)
+    specs = {
+        f"{family}@{budget}": payload
+        for (family, budget), payload in sorted(spec_payloads.items())
+    } if spec_payloads else {}
     return {
         "schema": CHECKPOINT_SCHEMA,
+        "specs": specs,
         "label": label,
         "status": status,
         "jobs": jobs,

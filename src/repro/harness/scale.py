@@ -81,6 +81,7 @@ def resolved_config() -> dict:
     ``results/*.txt`` can be reproduced from its sidecar.
     """
     from repro.harness.experiment import default_engine, default_jobs  # deferred: layering
+    from repro.predictors import registry  # deferred: layering
 
     return {
         "scale": scale_factor(),
@@ -90,6 +91,19 @@ def resolved_config() -> dict:
         "accuracy_instructions": accuracy_instructions(),
         "ipc_instructions": ipc_instructions(),
         "warmup_fraction": WARMUP_FRACTION,
+        # The resolved predictor specs: which module registered each family
+        # and the capability flags every consumer dispatched on.
+        "families": {
+            spec.name: {
+                "module": spec.module,
+                "config_type": spec.config_type.__name__,
+                "batch_kernel": spec.batch_kernel,
+                "single_cycle": spec.single_cycle,
+                "override_eligible": spec.override_eligible,
+                "state_neutral_peek": spec.state_neutral_peek,
+            }
+            for spec in registry.specs()
+        },
     }
 
 

@@ -21,8 +21,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro import obs
-from repro.core.bimode_fast import build_bimode_fast
-from repro.core.gshare_fast import build_gshare_fast
+from repro.common.errors import ConfigurationError
 from repro.core.overriding import OverridingPredictor
 from repro.harness.aggregate import arithmetic_mean, harmonic_mean
 from repro.harness.experiment import measure_accuracy, measure_override
@@ -32,8 +31,8 @@ from repro.harness.scale import (
     ipc_instructions,
     warmup_branches,
 )
+from repro.predictors import registry
 from repro.predictors.base import BranchPredictor
-from repro.predictors.factory import build_predictor
 from repro.timing.latency import predictor_latency
 from repro.uarch.config import PAPER_MACHINE, MachineConfig
 from repro.uarch.policies import FetchPolicy, OverridingPolicy, SingleCyclePolicy
@@ -63,13 +62,9 @@ def _resolve_parallel(
 
 
 def build_family(family: str, budget_bytes: int) -> BranchPredictor:
-    """Construct any predictor family, including the pipelined single-cycle
-    families (gshare_fast, bimode_fast) that live in repro.core."""
-    if family == "gshare_fast":
-        return build_gshare_fast(budget_bytes)
-    if family == "bimode_fast":
-        return build_bimode_fast(budget_bytes)
-    return build_predictor(family, budget_bytes)
+    """Construct any registered predictor family — one registry lookup,
+    covering the factory families and the pipelined ``repro.core`` ones."""
+    return registry.build(family, budget_bytes)
 
 
 @dataclass(frozen=True)
@@ -160,18 +155,35 @@ def mean_by_family_budget(cells: list[AccuracyCell]) -> dict[tuple[str, int], fl
 # -- IPC sweeps ---------------------------------------------------------------
 
 
-def make_policy(family: str, budget_bytes: int, mode: str) -> FetchPolicy:
+def make_policy(
+    family: str,
+    budget_bytes: int,
+    mode: str,
+    predictor: BranchPredictor | None = None,
+) -> FetchPolicy:
     """Build the fetch policy for a family/budget under ``mode``.
 
     Modes: ``ideal`` (zero-delay complex predictor — Figure 7 left),
     ``overriding`` (quick 2K gshare + slow complex predictor — Figure 7
-    right).  ``gshare_fast`` is always single-cycle by construction and
-    accepts either mode.
+    right).  Which path a family takes is read off its registry spec:
+    ``single_cycle`` families (pipelined by construction) accept either
+    mode and never need overriding; ``override_eligible`` families have a
+    latency model and can play the slow side of an overriding pair.
+
+    ``predictor`` lets callers that already built the predictor (e.g. from
+    a serialized spec) skip the registry build.
     """
-    predictor = build_family(family, budget_bytes)
-    if family in ("gshare_fast", "bimode_fast") or mode == "ideal":
+    spec = registry.get_spec(family)
+    if predictor is None:
+        predictor = registry.build(family, budget_bytes)
+    if spec.single_cycle or mode == "ideal":
         return SingleCyclePolicy(predictor)
     if mode == "overriding":
+        if not spec.override_eligible:
+            raise ConfigurationError(
+                f"family {family!r} is not override-eligible "
+                f"(no latency model registers it as a slow predictor)"
+            )
         latency = predictor_latency(family, budget_bytes)
         return OverridingPolicy(OverridingPredictor(predictor, slow_latency=latency))
     raise ValueError(f"unknown policy mode {mode!r}")

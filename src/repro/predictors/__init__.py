@@ -5,6 +5,7 @@ from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.bimode import BiModePredictor
 from repro.predictors.factory import build_predictor, predictor_families
 from repro.predictors.gshare import GsharePredictor
+from repro.predictors.registry import FamilySpec, family_names
 from repro.predictors.gskew import EGskewPredictor, TwoBcGskewPredictor
 from repro.predictors.local import LocalPredictor
 from repro.predictors.loop import LoopPredictor
@@ -25,6 +26,7 @@ __all__ = [
     "BimodalPredictor",
     "BranchPredictor",
     "EGskewPredictor",
+    "FamilySpec",
     "GsharePredictor",
     "LocalPredictor",
     "LoopPredictor",
@@ -34,5 +36,6 @@ __all__ = [
     "TournamentPredictor",
     "TwoBcGskewPredictor",
     "build_predictor",
+    "family_names",
     "predictor_families",
 ]

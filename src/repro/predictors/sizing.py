@@ -20,10 +20,12 @@ rules the paper cites:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, fields
+from typing import TypeVar
 
 from repro.common.bits import is_power_of_two
-from repro.common.errors import BudgetError
+from repro.common.errors import BudgetError, ConfigurationError
 
 KIB = 1024
 
@@ -75,8 +77,45 @@ def perceptron_history_length(budget_bytes: int) -> int:
     return (PERCEPTRON_HISTORY_BY_BUDGET[below] + PERCEPTRON_HISTORY_BY_BUDGET[above]) // 2
 
 
+_C = TypeVar("_C", bound="SizingConfig")
+
+
 @dataclass(frozen=True)
-class GshareConfig:
+class SizingConfig:
+    """Base for the per-family configuration dataclasses.
+
+    Every family's config is a frozen dataclass of plain integers, so a
+    configuration can travel as JSON (between sweep processes, into run
+    manifests and shard checkpoints) and rebuild a bit-identical predictor
+    through its family's builder.  ``from_dict(to_dict(cfg)) == cfg`` is a
+    registry-wide invariant enforced by the conformance suite.
+    """
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-able view of the configuration (field name -> value)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls: type[_C], data: Mapping[str, object]) -> _C:
+        """Rebuild a config from :meth:`to_dict` output, validating shape."""
+        names = [f.name for f in fields(cls)]
+        unknown = sorted(set(data) - set(names))
+        missing = sorted(set(names) - set(data))
+        if unknown or missing:
+            raise ConfigurationError(
+                f"{cls.__name__}: cannot deserialize config "
+                f"(missing fields: {missing}, unknown fields: {unknown})"
+            )
+        bad = sorted(name for name in names if not isinstance(data[name], int))
+        if bad:
+            raise ConfigurationError(
+                f"{cls.__name__}: non-integer config fields {bad}"
+            )
+        return cls(**{name: data[name] for name in names})
+
+
+@dataclass(frozen=True)
+class GshareConfig(SizingConfig):
     """Sized gshare: PHT entries and history length."""
 
     entries: int
@@ -84,7 +123,58 @@ class GshareConfig:
 
 
 @dataclass(frozen=True)
-class BiModeConfig:
+class BimodalConfig(SizingConfig):
+    """Sized bimodal: PC-indexed counter-table entries."""
+
+    entries: int
+
+
+@dataclass(frozen=True)
+class EGskewConfig(SizingConfig):
+    """Sized e-gskew: per-bank entries and history length."""
+
+    bank_entries: int
+    history_length: int
+
+
+@dataclass(frozen=True)
+class TournamentConfig(SizingConfig):
+    """Sized EV6 tournament: global/chooser tables and local structures."""
+
+    global_entries: int
+    local_histories: int
+    local_history_length: int
+    local_pht_entries: int
+    chooser_entries: int
+
+
+@dataclass(frozen=True)
+class LoopConfig(SizingConfig):
+    """Sized loop predictor: monitor entries and confidence threshold."""
+
+    entries: int
+    confidence_threshold: int
+
+
+@dataclass(frozen=True)
+class GshareFastConfig(SizingConfig):
+    """Sized gshare.fast: PHT entries and the non-speculative update delay
+    (latency and buffer width derive from the SRAM model at build time)."""
+
+    entries: int
+    update_delay: int
+
+
+@dataclass(frozen=True)
+class BiModeFastConfig(SizingConfig):
+    """Sized bimode.fast: direction-table and choice-table entries."""
+
+    direction_entries: int
+    choice_entries: int
+
+
+@dataclass(frozen=True)
+class BiModeConfig(SizingConfig):
     """Sized Bi-Mode: direction/choice table entries and history."""
 
     direction_entries: int
@@ -93,7 +183,7 @@ class BiModeConfig:
 
 
 @dataclass(frozen=True)
-class GskewConfig:
+class GskewConfig(SizingConfig):
     """Sized 2Bc-gskew: per-bank entries and staggered histories."""
 
     bank_entries: int
@@ -102,7 +192,7 @@ class GskewConfig:
 
 
 @dataclass(frozen=True)
-class PerceptronConfig:
+class PerceptronConfig(SizingConfig):
     """Sized perceptron: table rows and global/local history split."""
 
     num_perceptrons: int
@@ -112,7 +202,7 @@ class PerceptronConfig:
 
 
 @dataclass(frozen=True)
-class MultiComponentConfig:
+class MultiComponentConfig(SizingConfig):
     """Sized multi-hybrid: per-component structures and selector."""
 
     bimodal_entries: int
@@ -219,6 +309,61 @@ def size_multicomponent(budget_bytes: int) -> MultiComponentConfig:
         local_pht_entries=max(local_pht_entries, 64),
         loop_entries=loop_entries,
         selector_entries=selector_entries,
+    )
+
+
+def size_bimodal(budget_bytes: int) -> BimodalConfig:
+    """Bimodal fills the budget with 2-bit counters (4 per byte)."""
+    return BimodalConfig(entries=floor_pow2(budget_bytes * 4))
+
+
+def size_egskew(budget_bytes: int) -> EGskewConfig:
+    """e-gskew: three equal banks of 2-bit counters fill the budget; history
+    equals the bank index width (the predictor's own default)."""
+    bank = floor_pow2(budget_bytes * 8 // 3 // 2)
+    return EGskewConfig(bank_entries=bank, history_length=bank.bit_length() - 1)
+
+
+def size_tournament(budget_bytes: int) -> TournamentConfig:
+    """EV6 proportions scaled to the budget: global/chooser tables equal,
+    local structures a quarter of their size, EV6's 10-bit local history."""
+    global_entries = floor_pow2(budget_bytes * 8 // 2 // 2 // 2)
+    local = max(global_entries // 4, 64)
+    return TournamentConfig(
+        global_entries=global_entries,
+        local_histories=local,
+        local_history_length=10,
+        local_pht_entries=local,
+        chooser_entries=global_entries,
+    )
+
+
+def size_loop(budget_bytes: int) -> LoopConfig:
+    """Standalone loop predictor: 31-bit entries fill the budget."""
+    return LoopConfig(
+        entries=max(floor_pow2(budget_bytes * 8 // 31), 64),
+        confidence_threshold=2,
+    )
+
+
+def size_gshare_fast(budget_bytes: int, update_delay: int = 0) -> GshareFastConfig:
+    """gshare.fast shares gshare's PHT sizing; latency/buffer come from the
+    SRAM model at build time, so only entries and the update delay are
+    configuration."""
+    return GshareFastConfig(
+        entries=size_gshare(budget_bytes).entries, update_delay=update_delay
+    )
+
+
+def size_bimode_fast(budget_bytes: int) -> BiModeFastConfig:
+    """bimode.fast: the choice table takes its single-cycle maximum (1K
+    entries, 256 bytes); the two direction tables split the rest evenly."""
+    choice_entries = 1024  # MAX_CHOICE_ENTRIES: largest single-cycle table
+    choice_bytes = choice_entries * 2 // 8
+    remaining_bits = (budget_bytes - choice_bytes) * 8
+    direction_entries = floor_pow2(max(remaining_bits // 2 // 2, 64))
+    return BiModeFastConfig(
+        direction_entries=direction_entries, choice_entries=choice_entries
     )
 
 

@@ -10,9 +10,15 @@ organization:
   branch for branch (the whole pipeline is a pure function of its seeds);
 * **sizing** — the built predictor fits the requested hardware budget
   (with the 5% allowance the sizing layer grants for non-table state such
-  as history registers and pipeline latches);
+  as history registers and pipeline latches), across the budget ladder;
+* **peek neutrality** — ``peek()`` never disturbs predictor state: a twin
+  instance bombarded with peeks stays bit-identical (prediction stream and
+  final table contents) to an undisturbed one;
 * **sweep equality** — the parallel sweep executor produces exactly the
   cells the serial path produces, for every family at once.
+
+The family list comes from the declarative registry, so a newly registered
+family is enrolled in every check automatically.
 """
 
 from __future__ import annotations
@@ -21,12 +27,22 @@ import pytest
 
 from repro.common.errors import ProtocolError
 from repro.harness.sweep import accuracy_sweep, build_family
-from repro.predictors.factory import predictor_families
+from repro.predictors import registry
 
-#: Every constructible family: the factory's plus the pipelined core ones.
-ALL_FAMILIES = predictor_families() + ["gshare_fast", "bimode_fast"]
+#: Every registered family — the registry is the authoritative list.
+ALL_FAMILIES = registry.family_names()
 
 CONFORMANCE_BUDGET = 8 * 1024
+
+#: Budget ladder sample for the sizing checks (2KB .. 512KB).
+BUDGET_LADDER = [2 * 1024, 8 * 1024, 64 * 1024, 512 * 1024]
+
+
+def table_digests(predictor) -> dict[str, bytes]:
+    """Byte-exact fingerprints of every named counter table."""
+    return {
+        name: table.snapshot().tobytes() for name, table in predictor.tables().items()
+    }
 
 
 def branch_stream(trace, limit=1200):
@@ -79,7 +95,7 @@ class TestPredictorContract:
         assert first.stats.predictions == second.stats.predictions == len(stream)
         assert first.stats.mispredictions == second.stats.mispredictions
 
-    @pytest.mark.parametrize("budget", [4 * 1024, 64 * 1024])
+    @pytest.mark.parametrize("budget", BUDGET_LADDER)
     def test_sizing_within_budget(self, family, budget):
         predictor = build_family(family, budget)
         assert 0 < predictor.storage_bits
@@ -91,6 +107,39 @@ class TestPredictorContract:
         small = build_family(family, 4 * 1024).storage_bits
         large = build_family(family, 64 * 1024).storage_bits
         assert large > small
+
+    def test_peek_is_state_neutral(self, family, small_trace):
+        """A twin instance peppered with ``peek()`` calls stays bit-identical
+        to an undisturbed one: same prediction stream, same final tables.
+
+        The twin construction catches state drift even in families whose
+        ``tables()`` is empty (perceptron weights, loop counters, composite
+        internals): any disturbed state would surface as a diverged
+        prediction somewhere down the stream.
+        """
+        spec = registry.get_spec(family)
+        if not spec.state_neutral_peek:
+            pytest.skip(f"{family} opts out of state-neutral peek")
+        stream = branch_stream(small_trace, limit=600)
+        plain = build_family(family, CONFORMANCE_BUDGET)
+        peeked = build_family(family, CONFORMANCE_BUDGET)
+        for i, (pc, taken) in enumerate(stream):
+            peeked.peek(pc)
+            assert plain.predict(pc) == peeked.predict(pc)
+            peeked.peek(stream[(i * 7) % len(stream)][0])  # off-branch peek
+            assert plain.update(pc, taken) == peeked.update(pc, taken)
+            peeked.peek(pc)
+        assert table_digests(plain) == table_digests(peeked)
+        assert plain.stats.mispredictions == peeked.stats.mispredictions
+
+    def test_peek_preserves_table_digests(self, family):
+        """Direct digest check: a burst of peeks on a fresh predictor leaves
+        every named counter table byte-identical."""
+        predictor = build_family(family, CONFORMANCE_BUDGET)
+        before = table_digests(predictor)
+        for i in range(64):
+            predictor.peek(0x4000 + i * 4)
+        assert table_digests(predictor) == before
 
 
 def test_serial_and_parallel_sweeps_agree_for_every_family():

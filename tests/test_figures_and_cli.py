@@ -122,6 +122,19 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["figure9"])
 
+    def test_cli_rejects_empty_invocation(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_cli_list_families(self, capsys):
+        from repro.predictors import registry
+
+        assert main(["--list-families"]) == 0
+        output = capsys.readouterr().out
+        for family in registry.family_names():
+            assert family in output
+        assert "gshare_fast" in output
+
     def test_default_run_writes_no_sidecars(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
         assert main(["table2"]) == 0

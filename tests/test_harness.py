@@ -144,7 +144,13 @@ class TestScale:
             "accuracy_instructions",
             "ipc_instructions",
             "warmup_fraction",
+            "families",
         }
+        from repro.predictors import registry
+
+        assert sorted(config["families"]) == registry.family_names()
+        assert config["families"]["gshare_fast"]["single_cycle"] is True
+        assert config["families"]["gshare"]["batch_kernel"] == "gshare"
         assert config["scale"] == 0.5
         assert config["benchmarks"] == ["gcc", "eon"]
         assert config["engine"] == "scalar"

@@ -1,0 +1,163 @@
+"""Tests for the declarative predictor-family registry itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import BudgetError, ConfigurationError
+from repro.predictors import registry
+from repro.predictors.factory import gshare_from_config
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.registry import FamilySpec
+from repro.predictors.sizing import GshareConfig, size_gshare
+from repro.timing.latency import predictor_latency
+
+KIB = 1024
+
+#: The eleven families the paper's pipeline ships with.
+SHIPPED_FAMILIES = [
+    "2bcgskew",
+    "bimodal",
+    "bimode",
+    "bimode_fast",
+    "egskew",
+    "gshare",
+    "gshare_fast",
+    "loop",
+    "multicomponent",
+    "perceptron",
+    "tournament",
+]
+
+
+class TestLookup:
+    def test_family_names_sorted_and_complete(self):
+        names = registry.family_names()
+        assert names == sorted(names)
+        for family in SHIPPED_FAMILIES:
+            assert family in names
+
+    def test_specs_align_with_names(self):
+        assert [spec.name for spec in registry.specs()] == registry.family_names()
+
+    def test_get_spec_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown predictor family"):
+            registry.get_spec("tage")
+
+    def test_register_fills_module(self):
+        spec = registry.get_spec("gshare")
+        assert spec.module == "repro.predictors.factory"
+        assert registry.get_spec("gshare_fast").module == "repro.core.gshare_fast"
+
+    def test_reregister_same_family_is_idempotent(self):
+        spec = registry.get_spec("gshare")
+        assert registry.register(spec) is registry.get_spec("gshare")
+        assert registry.family_names().count("gshare") == 1
+
+    def test_conflicting_register_raises(self):
+        class ImpostorPredictor(GsharePredictor):
+            pass
+
+        impostor = FamilySpec(
+            name="gshare",
+            config_type=GshareConfig,
+            sizer=size_gshare,
+            builder=gshare_from_config,
+            predictor_type=ImpostorPredictor,
+            module="tests.test_registry",
+        )
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register(impostor)
+        # The original spec survives the rejected attempt.
+        assert registry.get_spec("gshare").predictor_type is GsharePredictor
+
+
+class TestBuild:
+    def test_build_validates_budget(self):
+        with pytest.raises(BudgetError):
+            registry.build("gshare", -1)
+
+    def test_build_from_config_type_mismatch(self):
+        config = registry.size_config("bimodal", 8 * KIB)
+        with pytest.raises(ConfigurationError, match="expects a GshareConfig"):
+            registry.build_from_config("gshare", config)
+
+    def test_build_from_config_accepts_mapping(self):
+        config = registry.size_config("gshare", 8 * KIB)
+        predictor = registry.build_from_config("gshare", config.to_dict())
+        assert type(predictor) is GsharePredictor
+
+    def test_supports_batch_is_exact_type(self):
+        """A subclass never inherits the parent family's batch kernel: it may
+        change indexing/update rules the kernel knows nothing about."""
+
+        class TweakedGshare(GsharePredictor):
+            pass
+
+        parent = registry.build("gshare", 8 * KIB)
+        assert registry.spec_for_predictor(parent) is registry.get_spec("gshare")
+        tweaked = TweakedGshare(entries=1024, history_length=8)
+        assert registry.spec_for_predictor(tweaked) is None
+
+
+class TestSerializedSpecs:
+    def test_round_trip_every_family(self):
+        for family in registry.family_names():
+            payload = registry.serialize_spec(family, 8 * KIB)
+            rebuilt = registry.build_serialized(payload)
+            spec = registry.get_spec(family)
+            assert type(rebuilt) is spec.predictor_type
+
+    def test_missing_field_rejected(self):
+        payload = registry.serialize_spec("gshare", 8 * KIB)
+        del payload["config"]
+        with pytest.raises(ConfigurationError, match="missing the 'config'"):
+            registry.build_serialized(payload)
+
+    def test_non_mapping_config_rejected(self):
+        payload = registry.serialize_spec("gshare", 8 * KIB)
+        payload["config"] = [1, 2, 3]
+        with pytest.raises(ConfigurationError, match="must be a mapping"):
+            registry.build_serialized(payload)
+
+
+class TestCapabilityFlags:
+    def test_batch_kernels_match_engine(self):
+        from repro.batch.engine import KERNELS
+
+        declared = {
+            spec.batch_kernel for spec in registry.specs() if spec.batch_kernel
+        }
+        assert declared == set(KERNELS)
+
+    def test_single_cycle_families(self):
+        single = [spec.name for spec in registry.specs() if spec.single_cycle]
+        assert single == ["bimode_fast", "gshare_fast"]
+
+    def test_override_eligibility_matches_latency_model(self):
+        """``override_eligible`` must agree with the timing layer: eligible
+        families have a latency model, ineligible multi-cycle ones do not."""
+        for spec in registry.specs():
+            if spec.single_cycle or spec.module == "tests.toy_family":
+                continue
+            if spec.override_eligible:
+                assert predictor_latency(spec.name, 32 * KIB) >= 1
+            else:
+                with pytest.raises(ConfigurationError):
+                    predictor_latency(spec.name, 32 * KIB)
+
+
+class TestCompleteness:
+    def test_registry_is_complete(self):
+        """The CI gate: every concrete predictor registered (or exempted),
+        every figure family list resolvable through the registry."""
+        assert registry.completeness_problems() == []
+
+    def test_conformance_matrix_enrolls_every_family(self):
+        """Structural coverage pin: the conformance matrix parametrizes over
+        the registry's own list, so no registered family can dodge it."""
+        from tests import test_conformance_matrix as conformance
+
+        for spec in registry.specs():
+            if spec.module.startswith("repro."):
+                assert spec.name in conformance.ALL_FAMILIES

@@ -1,0 +1,84 @@
+"""A complete predictor family in one module — the registry's litmus test.
+
+The declarative registry promises that adding a family is a *one-module*
+change: define the predictor, define its sizing config, register a
+:class:`FamilySpec`, and every consumer (sweeps, engine selection, parallel
+sharding, conformance checks) picks it up with zero edits elsewhere.  This
+module is that promise exercised end to end: a deliberately simple
+PC-indexed 3-bit counter predictor that exists nowhere in the shipped
+package.  ``tests/test_registry_toy.py`` drives it through the harness while
+importing nothing family-specific from the harness, batch, or parallel
+layers.
+
+The module lives under ``tests`` (not ``repro``), so the completeness gate
+treats it as an external family: it must flow through the pipeline but is
+exempt from the golden figure coverage expected of shipped families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.counters import CounterTable
+from repro.predictors.base import BranchPredictor
+from repro.predictors.registry import FamilySpec, register
+from repro.predictors.sizing import SizingConfig, floor_pow2
+
+FAMILY = "toy_direct"
+
+#: Counter width — 3 bits, so the toy matches no shipped table geometry.
+COUNTER_BITS = 3
+
+
+@dataclass(frozen=True)
+class ToyConfig(SizingConfig):
+    """Sizing config for the toy family: a single direction table."""
+
+    entries: int
+
+
+class ToyDirectPredictor(BranchPredictor):
+    """PC-indexed table of 3-bit saturating counters, no history at all."""
+
+    name = FAMILY
+
+    def __init__(self, entries: int) -> None:
+        super().__init__()
+        self.table = CounterTable(entries, bits=COUNTER_BITS)
+        self._mask = entries - 1
+
+    @property
+    def storage_bits(self) -> int:
+        return self.table.storage_bits
+
+    def tables(self) -> dict[str, CounterTable]:
+        return {"direction": self.table}
+
+    def _predict(self, pc: int) -> tuple[bool, int]:
+        index = (pc >> 2) & self._mask
+        return self.table.predict(index), index
+
+    def _update(self, pc: int, taken: bool, predicted: bool, context: int) -> None:
+        self.table.update(context, taken)
+
+
+def size_toy(budget_bytes: int) -> ToyConfig:
+    """Fill the budget with 3-bit counters (64-entry floor)."""
+    return ToyConfig(entries=floor_pow2(max(budget_bytes * 8 // COUNTER_BITS, 64)))
+
+
+def build_toy(config: ToyConfig) -> ToyDirectPredictor:
+    return ToyDirectPredictor(entries=config.entries)
+
+
+SPEC = register(
+    FamilySpec(
+        name=FAMILY,
+        config_type=ToyConfig,
+        sizer=size_toy,
+        builder=build_toy,
+        predictor_type=ToyDirectPredictor,
+        # No batch kernel: the engine must fall back to the scalar path.
+        batch_kernel=None,
+    )
+)
