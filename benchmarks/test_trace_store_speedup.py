@@ -1,0 +1,78 @@
+"""Warm-start speedup of the content-addressed trace store.
+
+Gated behind pytest-benchmark's opt-in flag so the figure-regeneration
+suite stays unaffected::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_trace_store_speedup.py --benchmark-enable
+
+Pins the tentpole performance claim: on a small-scale Figure 1 grid,
+acquiring every benchmark trace from a warm store is >= 3x faster than
+generating it, with zero ``ProgramExecutor`` invocations and replay-exact
+content.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.workloads.spec2000 import (
+    clear_trace_cache,
+    executor_run_count,
+    reset_executor_runs,
+    spec2000_names,
+    spec2000_trace,
+)
+
+#: Small-scale grid: every benchmark at a short trace length.
+INSTRUCTIONS = 60_000
+
+
+@pytest.fixture(autouse=True)
+def require_benchmarks(request):
+    if not request.config.getoption("--benchmark-enable"):
+        pytest.skip("trace store suite runs only with --benchmark-enable")
+
+
+@pytest.fixture
+def store_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "store"))
+    clear_trace_cache()
+    reset_executor_runs()
+    yield
+    clear_trace_cache()
+    reset_executor_runs()
+
+
+def acquire_grid():
+    """Fetch every benchmark's trace (the per-sweep startup cost)."""
+    return [
+        spec2000_trace(name, instructions=INSTRUCTIONS) for name in spec2000_names()
+    ]
+
+
+def test_warm_start_at_least_3x(store_env):
+    """Cold (generate + persist) vs warm (load columns): >= 3x, exact."""
+    start = time.perf_counter()
+    cold = acquire_grid()
+    cold_seconds = time.perf_counter() - start
+    assert executor_run_count() == len(spec2000_names())
+
+    best_warm = float("inf")
+    warm = None
+    for _ in range(3):
+        clear_trace_cache()
+        start = time.perf_counter()
+        warm = acquire_grid()
+        best_warm = min(best_warm, time.perf_counter() - start)
+    assert executor_run_count() == len(spec2000_names())  # nothing regenerated
+
+    for a, b in zip(cold, warm):
+        assert list(a.conditional_branches()) == list(b.conditional_branches())
+    speedup = cold_seconds / best_warm
+    print(
+        f"\ncold {cold_seconds * 1e3:.0f}ms  warm {best_warm * 1e3:.0f}ms  "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0

@@ -1,0 +1,58 @@
+"""Atomic file writes: tmp-file + rename, shared by every persistence layer.
+
+POSIX ``rename(2)`` within one directory is atomic: a reader observes
+either the old file or the complete new one, never a torn write.
+Everything in this repo that persists state another process may read
+concurrently — trace-store entries, parallel-sweep shard checkpoints, run
+manifests — funnels through these helpers, so a writer killed mid-write
+can only leave a ``*.tmp.<pid>`` dropping behind, never a truncated
+artifact under the final name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+
+@contextmanager
+def atomic_path(path: str | os.PathLike) -> Iterator[str]:
+    """Yield a temporary sibling of ``path``; rename it into place on success.
+
+    The temporary name embeds the writer's PID so concurrent writers of the
+    same file never collide on the staging name.  On any error the staged
+    file is removed and the final path is left untouched.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | os.PathLike, data: dict) -> None:
+    """Atomically write ``data`` as pretty, key-sorted JSON."""
+    with atomic_path(path) as tmp:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def stale_tmp_siblings(path: str | os.PathLike) -> list[str]:
+    """Leftover staging files of ``path`` from writers that died mid-write."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    prefix = f"{os.path.basename(path)}.tmp."
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    return [os.path.join(directory, n) for n in names if n.startswith(prefix)]

@@ -20,6 +20,13 @@ interrupted run restarted with ``--resume DIR`` skips completed work;
 ``--max-retries`` bounds per-shard retry attempts (failures land in
 ``DIR/manifest.json``).
 
+Trace store: ``--trace-store DIR`` (or ``REPRO_TRACE_STORE``) persists
+generated traces in a content-addressed on-disk store; later runs load
+columnar arrays instead of re-executing workload generation, with
+byte-identical figure output.  ``repro-figures --warm-traces`` (standalone
+or before targets) prewarms the store for the current
+``REPRO_SCALE``/``REPRO_BENCHMARKS`` grid.
+
 Observability: ``--profile`` turns on the metrics registry, per-branch
 misprediction attribution and ``span.*`` phase timers, prints the registry
 after each target, and writes a run-manifest sidecar
@@ -226,6 +233,22 @@ def main(argv: list[str] | None = None) -> int:
         "(or REPRO_MAX_RETRIES; default 2)",
     )
     parser.add_argument(
+        "--trace-store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk trace store (or REPRO_TRACE_STORE): "
+        "traces are generated once, persisted under DIR, and loaded as "
+        "columnar arrays on every later run — figure output is "
+        "byte-identical cold or warm",
+    )
+    parser.add_argument(
+        "--warm-traces",
+        action="store_true",
+        help="prewarm the trace store for the current scale/benchmark grid "
+        "before running targets (or standalone, with no targets); "
+        "requires --trace-store or REPRO_TRACE_STORE",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         metavar="DIR",
@@ -248,8 +271,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_families:
         print(_render_families())
         return 0
+    if args.trace_store is not None:
+        os.environ["REPRO_TRACE_STORE"] = args.trace_store
+    if args.warm_traces:
+        from repro.workloads.spec2000 import warm_trace_store
+
+        report = warm_trace_store()
+        print(
+            f"trace store {report['store']}: {len(report['entries'])} entries "
+            f"({report['generated']} generated, "
+            f"{report['already_present']} already present)"
+        )
+        if not args.targets:
+            return 0
     if not args.targets:
-        parser.error("no targets given (or use --list-families)")
+        parser.error("no targets given (or use --list-families / --warm-traces)")
     for target in args.targets:
         if target not in RUNNERS and target != "all":
             parser.error(

@@ -6,6 +6,13 @@ at the current ``REPRO_SCALE`` and returns structured data; the matching
 benchmark suite (``benchmarks/``) wraps these, and ``repro-figures`` (the
 CLI) prints them.
 
+All trace acquisition goes through :func:`repro.workloads.spec2000_trace`,
+so with ``REPRO_TRACE_STORE`` set every figure transparently reuses the
+content-addressed on-disk trace store: a warm run replays stored columnar
+traces with zero generation work and byte-identical rendered output
+(``scripts/trace_store_check.py`` asserts exactly this on the Figure 1
+grid).
+
 Index (see DESIGN.md for the full experiment table):
 
 * Figure 1 — mean misprediction vs budget: gshare, Bi-Mode,

@@ -24,7 +24,13 @@ shard that was still outstanding in that round.
 Workers rely on the per-process LRU trace cache in
 :mod:`repro.workloads.spec2000` (capacity ``REPRO_TRACE_CACHE``) so one
 worker decodes each benchmark trace once, not once per predictor config;
-per-shard hit/miss deltas are reported back for the run manifest.
+per-shard hit/miss deltas are reported back for the run manifest.  When
+``REPRO_TRACE_STORE`` is set, workers additionally share the on-disk
+content-addressed trace store (:mod:`repro.workloads.store`) under their
+private LRUs, so a warmed store means *no* worker regenerates any trace;
+per-shard store hit/miss/corrupt/write deltas are aggregated per worker
+and run-wide into the manifest (``trace_store``) and mirrored into obs
+counters when profiling.
 
 Test hooks (used by the CI kill/resume job and the test suite):
 
@@ -47,8 +53,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 
 from repro import obs
+from repro.common.atomic import atomic_write_json
 from repro.common.errors import ConfigurationError, ReproError
 from repro.harness.experiment import default_jobs
+
+#: Store-statistic keys workers report per shard and manifests aggregate.
+STORE_STAT_KEYS = ("hits", "misses", "corrupt", "writes", "evictions")
 
 #: Bumped when the shard checkpoint / run manifest layout changes.
 CHECKPOINT_SCHEMA = 1
@@ -91,6 +101,7 @@ class ShardOutcome:
     retries: int = 0
     from_checkpoint: bool = False
     trace_cache: dict = field(default_factory=dict)
+    trace_store: dict = field(default_factory=dict)
 
 
 def pool_jobs(jobs: int | None = None) -> int:
@@ -146,6 +157,7 @@ def _execute_shard(
     """
     from repro.harness.scale import warmup_branches
     from repro.workloads.spec2000 import spec2000_trace, trace_cache_info
+    from repro.workloads.store import store_stats
 
     fail_key = os.environ.get("REPRO_PARALLEL_FAIL_SHARD", "")
     if fail_key and fail_key in shard.key:
@@ -156,6 +168,7 @@ def _execute_shard(
             )
 
     before = trace_cache_info()
+    store_before = store_stats()
     started = time.perf_counter()
     if shard.kind == "accuracy":
         from repro.harness.experiment import measure_accuracy
@@ -199,6 +212,7 @@ def _execute_shard(
     else:
         raise ConfigurationError(f"unknown shard kind {shard.kind!r}")
     after = trace_cache_info()
+    store_after = store_stats()
     return {
         "payload": payload,
         "duration_seconds": time.perf_counter() - started,
@@ -206,6 +220,9 @@ def _execute_shard(
         "trace_cache": {
             "hits": after["hits"] - before["hits"],
             "misses": after["misses"] - before["misses"],
+        },
+        "trace_store": {
+            key: store_after[key] - store_before[key] for key in STORE_STAT_KEYS
         },
     }
 
@@ -303,11 +320,9 @@ class CheckpointStore:
 
     @staticmethod
     def _write_json(path: str, data: dict) -> None:
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(data, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        # The shared atomic helper (tmp.<pid> + rename): a writer killed
+        # mid-write leaves only a staging file, which ``load`` never reads.
+        atomic_write_json(path, data)
 
 
 def _json_roundtrip(value: dict) -> dict:
@@ -426,6 +441,7 @@ def run_shards(
                                 worker_pid=result["worker_pid"],
                                 retries=attempts[shard.key],
                                 trace_cache=result["trace_cache"],
+                                trace_store=result.get("trace_store", {}),
                             )
                             outcomes[shard.key] = outcome
                             del remaining[shard.key]
@@ -469,6 +485,11 @@ def run_shards(
                 summary["shards"]["resumed"]
             )
             registry.counter("parallel.retries").inc(summary["retries"])
+            # Worker-process store activity never reaches parent counters on
+            # its own; mirror the aggregated deltas here.
+            for key, value in summary["trace_store"].items():
+                if value:
+                    registry.counter(f"trace_store.{key}").inc(value)
         if store is not None:
             store.write_manifest(summary)
 
@@ -509,6 +530,7 @@ def _summarize(
     """The run manifest body: per-shard timings, worker load, retry counts."""
     workers: dict[str, dict] = {}
     cache = {"hits": 0, "misses": 0}
+    store_totals = dict.fromkeys(STORE_STAT_KEYS, 0)
     timings = []
     for shard in shards:
         outcome = outcomes.get(shard.key)
@@ -525,12 +547,17 @@ def _summarize(
         )
         if not outcome.from_checkpoint:
             worker = workers.setdefault(
-                str(outcome.worker_pid), {"shards": 0, "seconds": 0.0}
+                str(outcome.worker_pid),
+                {"shards": 0, "seconds": 0.0, "trace_store": dict.fromkeys(STORE_STAT_KEYS, 0)},
             )
             worker["shards"] += 1
             worker["seconds"] += outcome.duration_seconds
             cache["hits"] += outcome.trace_cache.get("hits", 0)
             cache["misses"] += outcome.trace_cache.get("misses", 0)
+            for key in STORE_STAT_KEYS:
+                delta = outcome.trace_store.get(key, 0)
+                worker["trace_store"][key] += delta
+                store_totals[key] += delta
     resumed = sum(1 for o in outcomes.values() if o.from_checkpoint)
     specs = {
         f"{family}@{budget}": payload
@@ -554,6 +581,7 @@ def _summarize(
         "failures": failures,
         "workers": workers,
         "trace_cache": cache,
+        "trace_store": store_totals,
         "shard_timings": timings,
     }
 

@@ -82,12 +82,14 @@ def resolved_config() -> dict:
     """
     from repro.harness.experiment import default_engine, default_jobs  # deferred: layering
     from repro.predictors import registry  # deferred: layering
+    from repro.workloads.store import store_path  # deferred: layering
 
     return {
         "scale": scale_factor(),
         "benchmarks": benchmark_names(),
         "engine": default_engine(),
         "jobs": default_jobs(),
+        "trace_store": store_path(),
         "accuracy_instructions": accuracy_instructions(),
         "ipc_instructions": ipc_instructions(),
         "warmup_fraction": WARMUP_FRACTION,

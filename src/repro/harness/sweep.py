@@ -3,7 +3,10 @@
 A sweep runs one predictor configuration per (benchmark, budget) cell and
 aggregates across benchmarks per the paper's conventions.  Predictors are
 constructed fresh per cell (no state leaks across benchmarks), while traces
-are cached by the workload layer so the expensive part is paid once.
+are cached by the workload layer so the expensive part is paid once — and,
+with ``REPRO_TRACE_STORE`` set, persisted to the content-addressed trace
+store so later *processes* pay nothing either (warm runs replay columnar
+traces with byte-identical sweep results).
 
 Because cells are independent, both sweeps accept ``jobs`` (default: the
 ``REPRO_JOBS`` environment variable, 1 = serial): with more than one job

@@ -23,10 +23,22 @@ from repro.workloads.io import load_trace, read_branch_trace, save_trace
 from repro.workloads.program import MemoryConfig, ProgramExecutor
 from repro.workloads.spec2000 import (
     INSTRUCTIONS_PER_BRANCH,
+    executor_run_count,
     get_profile,
+    reset_executor_runs,
     spec2000_names,
     spec2000_profiles,
     spec2000_trace,
+    warm_trace_store,
+)
+from repro.workloads.store import (
+    ColumnarTrace,
+    TraceStore,
+    active_store,
+    reset_store_stats,
+    store_path,
+    store_stats,
+    trace_digest,
 )
 from repro.workloads.synth import PredicateMix, WorkloadProfile, build_program
 from repro.workloads.trace import Block, BranchKind, Trace
@@ -36,6 +48,8 @@ __all__ = [
     "Block",
     "BranchKind",
     "Call",
+    "ColumnarTrace",
+    "TraceStore",
     "Function",
     "GlobalParityPredicate",
     "HiddenStatePredicate",
@@ -54,13 +68,21 @@ __all__ = [
     "Trace",
     "TripSampler",
     "WorkloadProfile",
+    "active_store",
     "build_program",
+    "executor_run_count",
     "get_profile",
     "layout_program",
     "load_trace",
     "read_branch_trace",
+    "reset_executor_runs",
+    "reset_store_stats",
     "spec2000_names",
     "spec2000_profiles",
     "save_trace",
     "spec2000_trace",
+    "store_path",
+    "store_stats",
+    "trace_digest",
+    "warm_trace_store",
 ]

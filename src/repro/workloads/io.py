@@ -10,29 +10,53 @@ the harness).  The format is a flat set of numpy arrays:
 * memory addresses flattened into ``loads`` / ``stores`` with CSR-style
   ``load_offsets`` / ``store_offsets`` index arrays (block *i* owns
   ``loads[load_offsets[i]:load_offsets[i+1]]``);
-* the trace name stored alongside.
+* the trace name and a sha256 ``checksum`` over every column, so a
+  truncated or bit-flipped file is detected at load time instead of
+  silently corrupting an experiment.
+
+The column codec (:func:`trace_to_columns` / :func:`blocks_from_columns` /
+:func:`save_columns` / :func:`load_columns`) is shared with the
+content-addressed trace store (:mod:`repro.workloads.store`), which keeps
+the columns as-is instead of materializing ``Block`` objects.  Writes are
+atomic (tmp file + rename) so a killed writer never leaves a truncated
+file under the final name.
 
 Round-tripping is exact: ``load_trace(save_trace(t)) == t`` field for field
-(verified by test and by a checksum of the branch stream).
+(verified by test and by the checksum of the full column set).
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
 import numpy as np
 
+from repro.common.atomic import atomic_path
 from repro.common.errors import TraceError
 from repro.workloads.trace import Block, BranchKind, Trace
 
-FORMAT_VERSION = 1
+#: v2: per-column integrity checksum added (a v1 file predates the trace
+#: store and is refused rather than trusted without one).
+FORMAT_VERSION = 2
+
+#: Column names in canonical (checksum) order.
+COLUMN_ORDER = (
+    "pc",
+    "instructions",
+    "branch_kind",
+    "branch_pc",
+    "taken",
+    "target",
+    "loads",
+    "stores",
+    "load_offsets",
+    "store_offsets",
+)
 
 
-def save_trace(trace: Trace, path: str | Path) -> Path:
-    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+def trace_to_columns(trace: Trace) -> dict[str, np.ndarray]:
+    """Flatten a block-object trace into its columnar (SoA) arrays."""
     blocks = trace.blocks
     load_offsets = np.zeros(len(blocks) + 1, dtype=np.int64)
     store_offsets = np.zeros(len(blocks) + 1, dtype=np.int64)
@@ -49,31 +73,94 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
         dtype=np.int64,
         count=int(store_offsets[-1]),
     )
-    np.savez_compressed(
-        path,
-        version=np.int64(FORMAT_VERSION),
-        name=np.bytes_(trace.name.encode()),
-        pc=np.array([b.pc for b in blocks], dtype=np.int64),
-        instructions=np.array([b.instructions for b in blocks], dtype=np.int32),
-        branch_kind=np.array([int(b.branch_kind) for b in blocks], dtype=np.int8),
-        branch_pc=np.array([b.branch_pc for b in blocks], dtype=np.int64),
-        taken=np.array([b.taken for b in blocks], dtype=np.bool_),
-        target=np.array([b.target for b in blocks], dtype=np.int64),
-        loads=loads,
-        stores=stores,
-        load_offsets=load_offsets,
-        store_offsets=store_offsets,
-    )
+    return {
+        "pc": np.array([b.pc for b in blocks], dtype=np.int64),
+        "instructions": np.array([b.instructions for b in blocks], dtype=np.int32),
+        "branch_kind": np.array([int(b.branch_kind) for b in blocks], dtype=np.int8),
+        "branch_pc": np.array([b.branch_pc for b in blocks], dtype=np.int64),
+        "taken": np.array([b.taken for b in blocks], dtype=np.bool_),
+        "target": np.array([b.target for b in blocks], dtype=np.int64),
+        "loads": loads,
+        "stores": stores,
+        "load_offsets": load_offsets,
+        "store_offsets": store_offsets,
+    }
+
+
+def blocks_from_columns(columns: dict[str, np.ndarray]) -> list[Block]:
+    """Materialize ``Block`` objects from columnar arrays (exact inverse of
+    :func:`trace_to_columns`; plain Python ints/bools, like the generator
+    emits)."""
+    pcs = columns["pc"].tolist()
+    instructions = columns["instructions"].tolist()
+    kinds = columns["branch_kind"].tolist()
+    branch_pcs = columns["branch_pc"].tolist()
+    takens = columns["taken"].tolist()
+    targets = columns["target"].tolist()
+    loads = columns["loads"].tolist()
+    stores = columns["stores"].tolist()
+    load_offsets = columns["load_offsets"].tolist()
+    store_offsets = columns["store_offsets"].tolist()
+    return [
+        Block(
+            pc=pcs[i],
+            instructions=instructions[i],
+            loads=tuple(loads[load_offsets[i] : load_offsets[i + 1]]),
+            stores=tuple(stores[store_offsets[i] : store_offsets[i + 1]]),
+            branch_kind=BranchKind(kinds[i]),
+            branch_pc=branch_pcs[i],
+            taken=bool(takens[i]),
+            target=targets[i],
+        )
+        for i in range(len(pcs))
+    ]
+
+
+def columns_checksum(name: str, columns: dict[str, np.ndarray]) -> str:
+    """sha256 over the trace name plus every column's dtype/shape/bytes."""
+    digest = hashlib.sha256()
+    digest.update(name.encode("utf-8"))
+    for key in COLUMN_ORDER:
+        array = np.ascontiguousarray(columns[key])
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def save_columns(path: str | Path, name: str, columns: dict[str, np.ndarray]) -> Path:
+    """Atomically write one columnar trace to ``path`` (``.npz`` appended
+    if missing); the embedded checksum covers every column."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with atomic_path(path) as tmp:
+        # np.savez appends ``.npz`` to bare *paths*; a file handle writes
+        # exactly where the atomic staging name points.
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                version=np.int64(FORMAT_VERSION),
+                name=np.bytes_(name.encode()),
+                checksum=np.bytes_(columns_checksum(name, columns).encode()),
+                **columns,
+            )
     return path
 
 
-def load_trace(path: str | Path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+def load_columns(path: str | Path) -> tuple[str, dict[str, np.ndarray]]:
+    """Read and verify a columnar trace written by :func:`save_columns`.
+
+    Raises :class:`TraceError` on anything untrustworthy: missing file,
+    truncated archive, unknown format version, missing columns, or a
+    checksum mismatch (bit rot / torn write).
+    """
     path = Path(path)
     if not path.exists():
         raise TraceError(f"trace file not found: {path}")
-    with np.load(path) as data:
-        try:
+    try:
+        with np.load(path) as data:
             version = int(data["version"])
             if version != FORMAT_VERSION:
                 raise TraceError(
@@ -81,33 +168,28 @@ def load_trace(path: str | Path) -> Trace:
                     f"(this build reads version {FORMAT_VERSION})"
                 )
             name = bytes(data["name"]).decode()
-            pc = data["pc"]
-            instructions = data["instructions"]
-            branch_kind = data["branch_kind"]
-            branch_pc = data["branch_pc"]
-            taken = data["taken"]
-            target = data["target"]
-            loads = data["loads"]
-            stores = data["stores"]
-            load_offsets = data["load_offsets"]
-            store_offsets = data["store_offsets"]
-        except KeyError as missing:
-            raise TraceError(f"malformed trace file {path}: missing {missing}") from None
-    blocks = []
-    for i in range(len(pc)):
-        blocks.append(
-            Block(
-                pc=int(pc[i]),
-                instructions=int(instructions[i]),
-                loads=tuple(int(a) for a in loads[load_offsets[i] : load_offsets[i + 1]]),
-                stores=tuple(int(a) for a in stores[store_offsets[i] : store_offsets[i + 1]]),
-                branch_kind=BranchKind(int(branch_kind[i])),
-                branch_pc=int(branch_pc[i]),
-                taken=bool(taken[i]),
-                target=int(target[i]),
-            )
-        )
-    return Trace(name=name, blocks=blocks)
+            checksum = bytes(data["checksum"]).decode()
+            columns = {key: data[key] for key in COLUMN_ORDER}
+    except TraceError:
+        raise
+    except KeyError as missing:
+        raise TraceError(f"malformed trace file {path}: missing {missing}") from None
+    except Exception as exc:  # truncated zip, bad header, undecodable bytes
+        raise TraceError(f"corrupt trace file {path}: {exc}") from exc
+    if columns_checksum(name, columns) != checksum:
+        raise TraceError(f"checksum mismatch in trace file {path} (corrupt entry)")
+    return name, columns
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    return save_columns(path, trace.name, trace_to_columns(trace))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    name, columns = load_columns(path)
+    return Trace(name=name, blocks=blocks_from_columns(columns))
 
 
 def read_branch_trace(

@@ -22,8 +22,10 @@ import os
 from collections import OrderedDict
 from functools import lru_cache
 
+from repro import obs
 from repro.common.errors import ConfigurationError
 from repro.workloads.program import MemoryConfig, ProgramExecutor
+from repro.workloads.store import ColumnarTrace, active_store
 from repro.workloads.synth import PredicateMix, WorkloadProfile, build_program
 from repro.workloads.trace import Trace
 
@@ -246,8 +248,25 @@ def get_profile(name: str) -> WorkloadProfile:
 #: Default capacity of the per-process trace cache (entries).
 TRACE_CACHE_CAPACITY = 32
 
-_trace_cache: OrderedDict[tuple[str, int, int], Trace] = OrderedDict()
+_trace_cache: OrderedDict[tuple[str, int, int], Trace | ColumnarTrace] = OrderedDict()
 _trace_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+_executor_runs = 0
+
+
+def executor_run_count() -> int:
+    """Times this process invoked ``ProgramExecutor`` to generate a trace.
+
+    A warm-store run of a whole figure grid should leave this at zero —
+    the acceptance check :mod:`scripts/trace_store_check` asserts exactly
+    that (via the mirrored ``workloads.executor_runs`` obs counter)."""
+    return _executor_runs
+
+
+def reset_executor_runs() -> None:
+    """Zero the executor-run counter (start of a measurement window)."""
+    global _executor_runs
+    _executor_runs = 0
 
 
 def trace_cache_capacity() -> int:
@@ -292,8 +311,41 @@ def clear_trace_cache() -> None:
         _trace_cache_stats[key] = 0
 
 
-def _cached_trace(name: str, instructions: int, seed: int) -> Trace:
-    """LRU-cached trace generation, keyed by (benchmark, length, seed)."""
+def _generate_trace(profile: WorkloadProfile, instructions: int, seed: int) -> Trace:
+    """Synthesize and execute the benchmark program — the expensive path
+    every cache layer exists to avoid."""
+    global _executor_runs
+    _executor_runs += 1
+    if obs.enabled():
+        obs.counter("workloads.executor_runs").inc()
+    program = build_program(profile)
+    executor = ProgramExecutor(
+        program, seed=seed, memory=profile.memory, hidden_bits=profile.hidden_bits
+    )
+    return executor.run(instructions)
+
+
+def _resolve_trace(name: str, instructions: int, seed: int) -> Trace | ColumnarTrace:
+    """Produce one trace via the on-disk store when enabled, else generate.
+
+    With a store active both the cold (generate+persist) and warm (load)
+    paths return a :class:`ColumnarTrace`, so downstream results are
+    byte-identical regardless of which path ran."""
+    profile = get_profile(name)
+    store = active_store()
+    if store is not None:
+        return store.get_or_generate(
+            profile,
+            instructions,
+            seed,
+            lambda: _generate_trace(profile, instructions, seed),
+        )
+    return _generate_trace(profile, instructions, seed)
+
+
+def _cached_trace(name: str, instructions: int, seed: int) -> Trace | ColumnarTrace:
+    """LRU-cached trace lookup, keyed by (benchmark, length, seed); the
+    on-disk trace store (when enabled) sits under this layer."""
     key = (name, instructions, seed)
     cached = _trace_cache.get(key)
     if cached is not None:
@@ -301,12 +353,7 @@ def _cached_trace(name: str, instructions: int, seed: int) -> Trace:
         _trace_cache.move_to_end(key)
         return cached
     _trace_cache_stats["misses"] += 1
-    profile = get_profile(name)
-    program = build_program(profile)
-    executor = ProgramExecutor(
-        program, seed=seed, memory=profile.memory, hidden_bits=profile.hidden_bits
-    )
-    trace = executor.run(instructions)
+    trace = _resolve_trace(name, instructions, seed)
     _trace_cache[key] = trace
     capacity = trace_cache_capacity()
     while len(_trace_cache) > capacity:
@@ -320,12 +367,15 @@ def spec2000_trace(
     instructions: int | None = None,
     branches: int | None = None,
     seed: int = 1,
-) -> Trace:
+) -> Trace | ColumnarTrace:
     """Dynamic trace for benchmark ``name``.
 
     Give either an instruction budget or an (approximate) conditional-branch
-    budget; traces are cached, so replaying the same benchmark across many
-    predictors costs one execution.
+    budget; traces are cached in-process, so replaying the same benchmark
+    across many predictors costs one execution.  When ``REPRO_TRACE_STORE``
+    names a directory, generation additionally persists through the
+    content-addressed store and warm runs load a :class:`ColumnarTrace`
+    from disk instead of executing anything.
     """
     if (instructions is None) == (branches is None):
         raise ConfigurationError("specify exactly one of instructions= or branches=")
@@ -334,3 +384,54 @@ def spec2000_trace(
     if instructions < 100:
         raise ConfigurationError("trace must cover at least 100 instructions")
     return _cached_trace(name, instructions, seed)
+
+
+def warm_trace_store(
+    benchmarks: list[str] | None = None,
+    instruction_counts: list[int] | None = None,
+    seed: int = 1,
+) -> dict:
+    """Prewarm the active trace store for the given grid.
+
+    Bypasses the in-process LRU on purpose: the point is to guarantee the
+    *disk* entries exist (for other processes and future runs), and a
+    parent that pre-populated its own memory cache would hide store hits
+    from forked sweep workers.  Returns a small report of what was warmed.
+
+    Raises :class:`ConfigurationError` when no store is configured.
+    """
+    from repro.harness.scale import resolved_config
+
+    store = active_store()
+    if store is None:
+        raise ConfigurationError(
+            "no trace store configured (set REPRO_TRACE_STORE or pass --trace-store)"
+        )
+    config = resolved_config()
+    if benchmarks is None:
+        benchmarks = list(config["benchmarks"])
+    if instruction_counts is None:
+        # Both figure-grid trace lengths at the current REPRO_SCALE.
+        instruction_counts = sorted(
+            {int(config["accuracy_instructions"]), int(config["ipc_instructions"])}
+        )
+    warmed = []
+    generated = 0
+    for name in benchmarks:
+        profile = get_profile(name)
+        for instructions in instruction_counts:
+            if store.load(profile, instructions, seed) is None:
+                store.get_or_generate(
+                    profile,
+                    instructions,
+                    seed,
+                    lambda p=profile, n=instructions: _generate_trace(p, n, seed),
+                )
+                generated += 1
+            warmed.append({"benchmark": name, "instructions": int(instructions)})
+    return {
+        "store": str(store.root),
+        "entries": warmed,
+        "generated": generated,
+        "already_present": len(warmed) - generated,
+    }

@@ -15,7 +15,10 @@ organization:
   instance bombarded with peeks stays bit-identical (prediction stream and
   final table contents) to an undisturbed one;
 * **sweep equality** — the parallel sweep executor produces exactly the
-  cells the serial path produces, for every family at once.
+  cells the serial path produces, for every family at once;
+* **representation equality** — replaying a trace from the store's
+  columnar (SoA) arrays yields byte-identical accuracy counts to the
+  ``Block``-object replay, on both the scalar and batch engines.
 
 The family list comes from the declarative registry, so a newly registered
 family is enrolled in every check automatically.
@@ -140,6 +143,45 @@ class TestPredictorContract:
         for i in range(64):
             predictor.peek(0x4000 + i * 4)
         assert table_digests(predictor) == before
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+class TestColumnarReplayConformance:
+    """Trace-representation equivalence: every family must produce
+    byte-identical accuracy counts whether the trace is replayed from
+    ``Block`` objects or from the store's columnar arrays."""
+
+    def test_scalar_engine_counts_identical(self, family, small_trace):
+        from repro.harness.experiment import measure_accuracy
+        from repro.workloads.store import ColumnarTrace
+
+        columnar = ColumnarTrace.from_trace(small_trace)
+        blocks = measure_accuracy(
+            build_family(family, CONFORMANCE_BUDGET), small_trace, engine="scalar"
+        )
+        columns = measure_accuracy(
+            build_family(family, CONFORMANCE_BUDGET), columnar, engine="scalar"
+        )
+        assert blocks.branches == columns.branches
+        assert blocks.mispredictions == columns.mispredictions
+        assert blocks.misprediction_percent == columns.misprediction_percent
+
+    def test_batch_engine_counts_identical(self, family, small_trace):
+        from repro.harness.experiment import measure_accuracy
+        from repro.workloads.store import ColumnarTrace
+
+        if not registry.get_spec(family).batch_kernel:
+            pytest.skip(f"{family} has no batch kernel")
+        columnar = ColumnarTrace.from_trace(small_trace)
+        blocks = measure_accuracy(
+            build_family(family, CONFORMANCE_BUDGET), small_trace, engine="batch"
+        )
+        columns = measure_accuracy(
+            build_family(family, CONFORMANCE_BUDGET), columnar, engine="batch"
+        )
+        assert blocks.branches == columns.branches
+        assert blocks.mispredictions == columns.mispredictions
+        assert blocks.misprediction_percent == columns.misprediction_percent
 
 
 def test_serial_and_parallel_sweeps_agree_for_every_family():

@@ -141,6 +141,7 @@ class TestScale:
             "benchmarks",
             "engine",
             "jobs",
+            "trace_store",
             "accuracy_instructions",
             "ipc_instructions",
             "warmup_fraction",

@@ -272,6 +272,112 @@ def test_parallel_counters_when_profiling(obs_enabled):
     drain_run_reports()
 
 
+# -- trace store ---------------------------------------------------------------
+
+
+class TestTraceStoreIntegration:
+    @pytest.fixture
+    def warm_store(self, tmp_path, monkeypatch):
+        """A prewarmed store for the test grid, with the parent's LRU kept
+        empty so forked workers must demonstrably hit the disk store."""
+        from repro.workloads.spec2000 import warm_trace_store
+        from repro.workloads.store import reset_store_stats
+
+        store_dir = tmp_path / "traces"
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(store_dir))
+        clear_trace_cache()
+        reset_store_stats()
+        warm_trace_store(benchmarks=BENCHMARKS, instruction_counts=[INSTRUCTIONS])
+        clear_trace_cache()
+        reset_store_stats()
+        yield store_dir
+        clear_trace_cache()
+        reset_store_stats()
+
+    def test_workers_share_warm_store(self, warm_store, tmp_path):
+        """Every worker loads from the shared store — per-worker manifest
+        stats show store hits and zero misses (nothing regenerated)."""
+        run_dir = tmp_path / "run"
+        parallel_accuracy_sweep(
+            **SWEEP_KWARGS, engine=None, jobs=2, run_dir=str(run_dir)
+        )
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["trace_store"]["hits"] >= 2  # one per benchmark at least
+        assert manifest["trace_store"]["misses"] == 0
+        assert manifest["trace_store"]["corrupt"] == 0
+        workers = manifest["workers"].values()
+        assert all("trace_store" in worker for worker in workers)
+        assert sum(w["trace_store"]["hits"] for w in workers) == (
+            manifest["trace_store"]["hits"]
+        )
+
+    def test_crash_resume_under_warm_store_matches_serial(
+        self, warm_store, tmp_path, monkeypatch
+    ):
+        run_dir = tmp_path / "run"
+        kwargs = dict(SWEEP_KWARGS, engine=None, jobs=1, run_dir=str(run_dir))
+        monkeypatch.setenv("REPRO_PARALLEL_ABORT_AFTER", "2")
+        with pytest.raises(RuntimeError, match="REPRO_PARALLEL_ABORT_AFTER"):
+            parallel_accuracy_sweep(**kwargs)
+        monkeypatch.delenv("REPRO_PARALLEL_ABORT_AFTER")
+        resumed = parallel_accuracy_sweep(**kwargs)
+        report = drain_run_reports()[-1]
+        assert report["shards"]["resumed"] == 2
+        # Byte-identical to the serial, storeless path.
+        monkeypatch.delenv("REPRO_TRACE_STORE")
+        clear_trace_cache()
+        assert resumed == accuracy_sweep(**SWEEP_KWARGS, jobs=1)
+
+    def test_parallel_store_counters_reach_obs(self, warm_store, obs_enabled):
+        parallel_accuracy_sweep(**SWEEP_KWARGS, engine=None, jobs=2)
+        counters = obs_enabled.snapshot()["counters"]
+        assert counters["trace_store.hits"] >= 2
+        drain_run_reports()
+
+
+# -- checkpoint atomicity ------------------------------------------------------
+
+
+class TestCheckpointAtomicity:
+    def test_checkpoint_write_leaves_no_staging_files(self, tmp_path):
+        from repro.harness.parallel import ShardOutcome
+
+        store = CheckpointStore(str(tmp_path))
+        shard = Shard("accuracy", "gcc", "gshare", 2048)
+        store.store(
+            ShardOutcome(
+                shard=shard, payload={"misprediction_percent": 1.0},
+                duration_seconds=0.1, worker_pid=1,
+            )
+        )
+        leftovers = [p for p in (tmp_path / "shards").iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+        assert store.load(shard) is not None
+
+    def test_checkpoint_killed_mid_write_is_ignored_on_resume(self, tmp_path):
+        """A writer killed mid-write leaves only a ``*.tmp.<pid>`` staging
+        file; resume neither crashes on it nor trusts it — the shard is
+        simply re-executed."""
+        run_dir = tmp_path / "run"
+        shard_dir = run_dir / "shards"
+        shard_dir.mkdir(parents=True)
+        key = "accuracy__gcc__gshare__2048"
+        # Half-written JSON under the staging name (the only artifact an
+        # atomic writer can leave behind)...
+        (shard_dir / f"{key}.json.tmp.4242").write_text('{"schema": 1, "payl')
+        # ...and, belt-and-braces, torn JSON under a *final* name too
+        # (pre-atomic layouts could produce this).
+        (shard_dir / "accuracy__eon__gshare__2048.json").write_text('{"sch')
+        cells = parallel_accuracy_sweep(
+            **SWEEP_KWARGS, engine=None, jobs=1, run_dir=str(run_dir)
+        )
+        report = drain_run_reports()[-1]
+        assert report["status"] == "completed"
+        assert report["shards"]["resumed"] == 0  # nothing was trusted
+        assert report["shards"]["executed"] == 4
+        assert cells == accuracy_sweep(**SWEEP_KWARGS, jobs=1)
+
+
 # -- trace cache ---------------------------------------------------------------
 
 

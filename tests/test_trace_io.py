@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.common.errors import TraceError
 from repro.harness.experiment import measure_accuracy
 from repro.predictors.gshare import GsharePredictor
 from repro.workloads.io import save_trace, load_trace
+from repro.workloads.store import ColumnarTrace
 from repro.workloads.trace import Block, BranchKind, Trace
 
 
@@ -89,6 +93,87 @@ class TestErrors:
         np.savez(path, **arrays)
         with pytest.raises(TraceError):
             load_trace(path)
+
+
+ADDRESS = st.integers(min_value=0, max_value=2**48)
+
+
+@st.composite
+def arbitrary_blocks(draw) -> Block:
+    """Any legal fetch block: every BranchKind (incl. NONE terminators),
+    empty or populated load/store lists."""
+    kind = draw(st.sampled_from(list(BranchKind)))
+    pc = draw(ADDRESS)
+    instructions = draw(st.integers(min_value=1, max_value=40))
+    loads = tuple(draw(st.lists(ADDRESS, max_size=4)))
+    stores = tuple(draw(st.lists(ADDRESS, max_size=4)))
+    if kind == BranchKind.NONE:
+        return Block(pc=pc, instructions=instructions, loads=loads, stores=stores)
+    return Block(
+        pc=pc,
+        instructions=instructions,
+        loads=loads,
+        stores=stores,
+        branch_kind=kind,
+        branch_pc=draw(st.integers(min_value=1, max_value=2**48)),
+        taken=draw(st.booleans()),
+        target=draw(ADDRESS),
+    )
+
+
+arbitrary_traces = st.builds(
+    Trace,
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=["L", "N"]), min_size=1, max_size=12
+    ),
+    blocks=st.lists(arbitrary_blocks(), min_size=1, max_size=60),
+)
+
+
+class TestHypothesisRoundTrip:
+    """Property-based round-trips: any legal block stream survives
+    serialization and columnarization with field-exact equality."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=arbitrary_traces)
+    def test_save_load_roundtrip_exact(self, trace, tmp_path_factory):
+        path = save_trace(trace, tmp_path_factory.mktemp("rt") / "trace")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.blocks == trace.blocks  # dataclass eq: every field
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=arbitrary_traces)
+    def test_columnar_roundtrip_exact(self, trace):
+        columnar = ColumnarTrace.from_trace(trace)
+        assert columnar.to_trace().blocks == trace.blocks
+        assert columnar.instruction_count == trace.instruction_count
+        assert list(columnar.conditional_branches()) == list(
+            trace.conditional_branches()
+        )
+        assert columnar.conditional_branch_count == trace.conditional_branch_count
+        assert columnar.static_branch_count() == trace.static_branch_count()
+        assert columnar.taken_rate == trace.taken_rate
+        pcs_a, takens_a = columnar.branch_arrays()
+        pcs_b, takens_b = trace.branch_arrays()
+        assert np.array_equal(pcs_a, pcs_b)
+        assert np.array_equal(takens_a, takens_b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=arbitrary_traces)
+    def test_zero_branch_traces_roundtrip(self, trace):
+        stripped = Trace(
+            name=trace.name,
+            blocks=[
+                Block(pc=b.pc, instructions=b.instructions, loads=b.loads, stores=b.stores)
+                for b in trace.blocks
+            ],
+        )
+        columnar = ColumnarTrace.from_trace(stripped)
+        assert columnar.conditional_branch_count == 0
+        assert columnar.taken_rate == 0.0
+        assert list(columnar.conditional_branches()) == []
+        assert columnar.to_trace().blocks == stripped.blocks
 
 
 class TestTextImport:
