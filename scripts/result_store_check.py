@@ -1,0 +1,269 @@
+"""End-to-end check of the content-addressed sweep-result store, as CI runs it.
+
+Drives the real ``repro-figures --config`` path over the full Figure 1
+grid (two benchmarks at 5% scale):
+
+1. baseline ``figure1`` with no stores;
+2. cold run with ``--result-store`` over the declarative configs
+   (``configs/figure1.json`` + the inferred projection) — byte-identical
+   to (1) while the store fills, one entry per grid cell;
+3. ``--dry-run`` classification — every declared cell reports as a hit;
+4. warm run (``--profile``) — byte-identical again, with obs counters
+   proving **zero** ``ProgramExecutor`` invocations, **zero** predictor
+   builds, and **zero** accuracy measurements: the whole grid is served
+   from the store;
+5. corruption drill: truncate one entry, tamper with another's payload,
+   and plant a stale ``*.tmp.<pid>`` staging file — the next run must
+   still exit 0 with byte-identical output, counting
+   ``result_store.corrupt`` and recomputing exactly the damaged cells;
+6. inferred-table-only regeneration: a fresh inferred config projecting
+   the 64K column is assembled *purely* from stored results — zero
+   executor/build/measurement work on its own per-target manifest.
+
+Exit status 0 means every stage behaved.  ``--stats-out PATH`` writes a
+JSON summary of the store counters per stage (CI uploads it as an
+artifact alongside the trace-store one).
+
+Usage::
+
+    PYTHONPATH=src python scripts/result_store_check.py [--stats-out stats.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CONFIGS = REPO_ROOT / "configs"
+
+#: Small but not trivial: figure1 over two benchmarks at 5% scale.
+CHECK_ENV = {
+    "REPRO_SCALE": "0.05",
+    "REPRO_BENCHMARKS": "gcc,eon",
+}
+TARGET = "figure1"
+INFERRED = "figure1_inferred"
+#: Cells in the full Figure 1 grid under CHECK_ENV: 4 families x 9 budgets
+#: x 2 benchmarks.
+GRID_CELLS = 4 * 9 * 2
+
+#: A warm run must report zero for each of these (no trace generation, no
+#: predictor construction, no prediction work of any kind).
+ZERO_WORK_COUNTERS = (
+    "workloads.executor_runs",
+    "predictors.builds",
+    "accuracy.measurements",
+)
+
+
+def run_cli(args: list[str], extra_env: dict[str, str] | None = None):
+    """Run ``repro-figures`` with CHECK_ENV; returns CompletedProcess."""
+    env = dict(os.environ, **CHECK_ENV)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(extra_env or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro.harness.cli", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def fail(message: str, proc=None) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    if proc is not None:
+        print(f"--- exit {proc.returncode} stderr ---\n{proc.stderr}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def read_output(directory: Path, target: str = TARGET) -> str:
+    return (directory / f"{target}.txt").read_text()
+
+
+def counters_of(directory: Path, target: str = TARGET) -> dict:
+    manifest = json.loads((directory / f"{target}.manifest.json").read_text())
+    return manifest["metrics"]["counters"]
+
+
+def assert_zero_work(counters: dict, stage: str) -> None:
+    for name in ZERO_WORK_COUNTERS:
+        if counters.get(name, 0) != 0:
+            fail(f"{stage}: expected zero work but {name}={counters[name]}")
+
+
+def store_stats_slice(counters: dict) -> dict:
+    return {k: v for k, v in counters.items() if "result_store" in k}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stats-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON summary of per-stage store statistics to PATH",
+    )
+    args = parser.parse_args(argv)
+    stats: dict[str, dict] = {}
+
+    config_args = [
+        "--config", str(CONFIGS / "figure1.json"),
+        "--config", str(CONFIGS / "figure1_inferred.json"),
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="result-store-check-") as tmp:
+        tmp_path = Path(tmp)
+        store_dir = tmp_path / "store"
+        baseline_dir, cold_dir, warm_dir, repaired_dir, inferred_dir = (
+            tmp_path / "baseline", tmp_path / "cold", tmp_path / "warm",
+            tmp_path / "repaired", tmp_path / "inferred",
+        )
+        store_args = ["--result-store", str(store_dir)]
+
+        print(f"[1/6] baseline {TARGET} (no stores)")
+        started = time.perf_counter()
+        proc = run_cli([TARGET, "--jobs", "1", "--output-dir", str(baseline_dir)])
+        baseline_seconds = time.perf_counter() - started
+        if proc.returncode != 0:
+            fail("baseline run failed", proc)
+        baseline = read_output(baseline_dir)
+
+        print("[2/6] cold run with --result-store over the declarative configs")
+        proc = run_cli(
+            [*config_args, *store_args, "--jobs", "1", "--output-dir", str(cold_dir)]
+        )
+        if proc.returncode != 0:
+            fail("cold store run failed", proc)
+        if read_output(cold_dir) != baseline:
+            fail("cold config output differs from legacy baseline")
+        if read_output(cold_dir, INFERRED) != baseline:
+            fail("inferred projection differs from legacy baseline")
+        entries = sorted(store_dir.glob("*.json"))
+        if len(entries) != GRID_CELLS:
+            fail(f"expected {GRID_CELLS} store entries, found {len(entries)}")
+
+        print("[3/6] --dry-run classification: every cell a hit")
+        proc = run_cli([*config_args, *store_args, "--dry-run"])
+        if proc.returncode != 0:
+            fail("dry run failed", proc)
+        rows = {}
+        for line in proc.stdout.splitlines():
+            parts = line.split()
+            if len(parts) >= 7 and parts[1] in ("runner", "sweep", "inferred"):
+                rows[parts[0]] = (int(parts[2]), int(parts[3]), int(parts[4]))
+        for target in (TARGET, INFERRED):
+            if rows.get(target) != (GRID_CELLS, GRID_CELLS, 0):
+                fail(
+                    f"dry run misclassified {target}: {rows.get(target)} "
+                    f"(expected ({GRID_CELLS}, {GRID_CELLS}, 0))\n{proc.stdout}"
+                )
+
+        print("[4/6] warm run: byte-identical, zero predictor work")
+        started = time.perf_counter()
+        proc = run_cli(
+            [*config_args, *store_args, "--jobs", "1",
+             "--output-dir", str(warm_dir), "--profile"]
+        )
+        warm_seconds = time.perf_counter() - started
+        if proc.returncode != 0:
+            fail("warm store run failed", proc)
+        if read_output(warm_dir) != baseline:
+            fail("warm config output differs from baseline")
+        if read_output(warm_dir, INFERRED) != baseline:
+            fail("warm inferred output differs from baseline")
+        for target in (TARGET, INFERRED):
+            counters = counters_of(warm_dir, target)
+            stats[f"warm.{target}"] = store_stats_slice(counters)
+            assert_zero_work(counters, f"warm {target}")
+            if counters.get("result_store.hits", 0) != GRID_CELLS:
+                fail(f"warm {target} did not hit every cell: {counters}")
+            if counters.get("result_store.misses", 0) != 0:
+                fail(f"warm {target} missed the store: {counters}")
+        print(
+            f"      byte-identical, zero executor runs / builds / measurements "
+            f"({baseline_seconds:.1f}s cold, {warm_seconds:.1f}s warm)"
+        )
+
+        print("[5/6] corruption drill: truncate + payload tamper + stale tmp")
+        first, second = entries[0], entries[1]
+        data = first.read_bytes()
+        first.write_bytes(data[: len(data) // 2])  # truncation
+        entry = json.loads(second.read_text())  # tampered floats, old checksum
+        entry["payload"]["misprediction_percent"] = 0.0
+        second.write_text(json.dumps(entry, indent=2, sort_keys=True))
+        (store_dir / f"{first.name}.tmp.4242").write_bytes(b"\x00" * 64)
+        proc = run_cli(
+            [TARGET, *store_args, "--jobs", "1",
+             "--output-dir", str(repaired_dir), "--profile"]
+        )
+        if proc.returncode != 0:
+            fail("run over corrupted store crashed", proc)
+        if read_output(repaired_dir) != baseline:
+            fail("corrupted store changed results")
+        counters = counters_of(repaired_dir)
+        stats["repaired"] = store_stats_slice(counters)
+        if counters.get("result_store.corrupt", 0) != 2:
+            fail(f"expected 2 corrupt entries counted, got {counters}")
+        if counters.get("predictors.builds", 0) != 2:
+            fail(f"expected exactly 2 recomputed cells, got {counters}")
+        if counters.get("result_store.writes", 0) != 2:
+            fail(f"expected 2 rewrites, got {counters}")
+        print(
+            f"      recomputed {counters['result_store.corrupt']} corrupt "
+            f"entries, results unchanged"
+        )
+
+        print("[6/6] inferred-table-only regeneration from stored results")
+        projection = {
+            "schema": 1,
+            "target": "table_mid64",
+            "mode": "inferred",
+            "title": "Inferred: 64K column of the Figure 1 grid",
+            "based_on": [TARGET],
+            "grids": [
+                {
+                    "kind": "accuracy",
+                    "families": ["gshare", "bimode", "multicomponent", "perceptron"],
+                    "budgets": [65536],
+                }
+            ],
+        }
+        projection_path = tmp_path / "table_mid64.json"
+        projection_path.write_text(json.dumps(projection, indent=2))
+        proc = run_cli(
+            ["--config", str(CONFIGS / "figure1.json"),
+             "--config", str(projection_path), *store_args,
+             "--output-dir", str(inferred_dir), "--profile"]
+        )
+        if proc.returncode != 0:
+            fail("inferred regeneration failed", proc)
+        counters = counters_of(inferred_dir, "table_mid64")
+        stats["inferred.table_mid64"] = store_stats_slice(counters)
+        assert_zero_work(counters, "inferred table")
+        if counters.get("result_store.hits", 0) != 4 * 2:  # families x benchmarks
+            fail(f"inferred table not assembled purely from the store: {counters}")
+        table = read_output(inferred_dir, "table_mid64")
+        if "64K" not in table or "perceptron" not in table:
+            fail(f"inferred table looks wrong:\n{table}")
+        print("      assembled from stored results only (zero predictor work)")
+
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"store statistics written to {args.stats_out}")
+
+    print("OK: cold, warm, corrupted and inferred outputs all check out")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,14 @@ byte-identical figure output.  ``repro-figures --warm-traces`` (standalone
 or before targets) prewarms the store for the current
 ``REPRO_SCALE``/``REPRO_BENCHMARKS`` grid.
 
+Result store: ``--result-store DIR`` (or ``REPRO_RESULT_STORE``) memoizes
+every sweep *cell* under a content key one layer above the trace store, so
+a warm figure regeneration executes zero predictor work.  ``--config
+PATH`` (repeatable; file or directory) runs declarative targets from
+``configs/*.json`` — including inferred tables assembled purely from other
+configs' stored results — and ``--dry-run`` reports hit/miss/inferred per
+target without executing anything (see DESIGN.md §12).
+
 Observability: ``--profile`` turns on the metrics registry, per-branch
 misprediction attribution and ``span.*`` phase timers, prints the registry
 after each target, and writes a run-manifest sidecar
@@ -125,14 +133,21 @@ RUNNERS = {
 }
 
 
-def _run_target(target: str, output_dir: str | None, profile: bool) -> None:
-    """Regenerate one target; write sidecars / print stats as requested."""
+def _run_target(target: str, output_dir: str | None, profile: bool, render=None) -> None:
+    """Regenerate one target; write sidecars / print stats as requested.
+
+    ``render`` overrides the built-in RUNNERS lookup — the ``--config``
+    path passes a closure over the parsed config here, so config targets
+    get the same output files, manifests and profiling as legacy ones.
+    """
+    if render is None:
+        render = RUNNERS[target]
     if profile:
         # Per-target metrics: each manifest describes exactly one run.
         obs.reset()
     started = time.perf_counter()
     with obs.span(target):
-        text = RUNNERS[target]()
+        text = render()
     duration = time.perf_counter() - started
     print(text)
     print()
@@ -249,6 +264,35 @@ def main(argv: list[str] | None = None) -> int:
         "requires --trace-store or REPRO_TRACE_STORE",
     )
     parser.add_argument(
+        "--result-store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk sweep-result store (or "
+        "REPRO_RESULT_STORE): every (benchmark, family, budget[, mode]) "
+        "cell is memoized under a content key, so warm figure "
+        "regeneration executes zero predictor work with byte-identical "
+        "output",
+    )
+    parser.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        metavar="PATH",
+        dest="configs",
+        help="declarative target config (JSON file, or a directory of "
+        "them; repeatable): runner-mode configs wrap built-in targets, "
+        "sweep-mode configs declare arbitrary registered-family grids, "
+        "inferred-mode configs assemble tables purely from other "
+        "configs' stored results (see configs/ and DESIGN.md §12)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --config: classify every declared sweep cell against "
+        "the result store (hit/miss/inferred per target) and exit "
+        "without executing anything",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         metavar="DIR",
@@ -273,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.trace_store is not None:
         os.environ["REPRO_TRACE_STORE"] = args.trace_store
+    if args.result_store is not None:
+        os.environ["REPRO_RESULT_STORE"] = args.result_store
     if args.warm_traces:
         from repro.workloads.spec2000 import warm_trace_store
 
@@ -282,10 +328,30 @@ def main(argv: list[str] | None = None) -> int:
             f"({report['generated']} generated, "
             f"{report['already_present']} already present)"
         )
-        if not args.targets:
+        if not args.targets and not args.configs:
             return 0
-    if not args.targets:
-        parser.error("no targets given (or use --list-families / --warm-traces)")
+    configs = []
+    if args.configs:
+        from repro.common.errors import ConfigurationError
+        from repro.harness.figconfig import load_configs
+
+        try:
+            configs = load_configs(args.configs)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    if args.dry_run:
+        if not configs:
+            parser.error("--dry-run requires --config")
+        from repro.harness.figconfig import classify, render_dry_run
+        from repro.harness.resultstore import active_result_store
+
+        store = active_result_store()
+        print(render_dry_run([classify(config, store) for config in configs]))
+        return 0
+    if not args.targets and not configs:
+        parser.error(
+            "no targets given (or use --config / --list-families / --warm-traces)"
+        )
     for target in args.targets:
         if target not in RUNNERS and target != "all":
             parser.error(
@@ -317,6 +383,15 @@ def main(argv: list[str] | None = None) -> int:
             obs.set_verbose(True)
         for target in targets:
             _run_target(target, args.output_dir, args.profile)
+        for config in configs:
+            from repro.harness.figconfig import run_target as run_config_target
+
+            _run_target(
+                config.name,
+                args.output_dir,
+                args.profile,
+                render=lambda config=config: run_config_target(config, RUNNERS),
+            )
     finally:
         if args.profile:
             obs.set_enabled(prior_enabled)

@@ -32,6 +32,14 @@ per-shard store hit/miss/corrupt/write deltas are aggregated per worker
 and run-wide into the manifest (``trace_store``) and mirrored into obs
 counters when profiling.
 
+One layer above both sits the content-addressed *result* store
+(:mod:`repro.harness.resultstore`, ``REPRO_RESULT_STORE``): each worker
+probes it before executing, so a shard whose key hits returns its stored
+payload without loading a trace or building a predictor at all.  Workers
+share the store directory exactly like the trace store; per-shard
+``result_store`` stat deltas are aggregated run-wide into the manifest and
+mirrored into ``result_store.*`` obs counters when profiling.
+
 Test hooks (used by the CI kill/resume job and the test suite):
 
 * ``REPRO_PARALLEL_ABORT_AFTER=K`` — abort the run (RuntimeError) after K
@@ -102,6 +110,7 @@ class ShardOutcome:
     from_checkpoint: bool = False
     trace_cache: dict = field(default_factory=dict)
     trace_store: dict = field(default_factory=dict)
+    result_store: dict = field(default_factory=dict)
 
 
 def pool_jobs(jobs: int | None = None) -> int:
@@ -147,29 +156,45 @@ def _build_shard_predictor(shard: Shard, spec_payload: dict | None):
     return registry.build(shard.family, shard.budget_bytes)
 
 
-def _execute_shard(
-    shard: Shard, cfg: dict, attempt: int, spec_payload: dict | None = None
-) -> dict:
-    """Run one shard in a worker process; returns a JSON-able result dict.
+def _shard_result_key(shard: Shard, cfg: dict) -> tuple[str, "object"]:
+    """The shard's result-store (key, cell) pair — the same recipe the
+    serial sweeps use, so serial and parallel runs share one cache."""
+    from repro.harness.resultstore import (
+        ResultCell,
+        accuracy_result_key,
+        ipc_result_key,
+    )
 
-    Deferred imports keep executor scheduling importable without dragging in
-    the whole measurement stack (and they are free after the first shard).
-    """
+    if shard.kind == "accuracy":
+        key = accuracy_result_key(
+            shard.benchmark,
+            shard.family,
+            shard.budget_bytes,
+            cfg["instructions"],
+            cfg["engine"],
+            cfg["warmup_fraction"],
+        )
+        return key, ResultCell("accuracy", shard.benchmark, shard.family, shard.budget_bytes)
+    if shard.kind == "ipc":
+        key = ipc_result_key(
+            shard.benchmark,
+            shard.family,
+            shard.budget_bytes,
+            shard.mode,
+            cfg["instructions"],
+            cfg["machine"],
+        )
+        return key, ResultCell(
+            "ipc", shard.benchmark, shard.family, shard.budget_bytes, shard.mode
+        )
+    raise ConfigurationError(f"unknown shard kind {shard.kind!r}")
+
+
+def _compute_shard_payload(shard: Shard, cfg: dict, spec_payload: dict | None) -> dict:
+    """Actually execute one shard's measurement (the result-store miss path)."""
     from repro.harness.scale import warmup_branches
-    from repro.workloads.spec2000 import spec2000_trace, trace_cache_info
-    from repro.workloads.store import store_stats
+    from repro.workloads.spec2000 import spec2000_trace
 
-    fail_key = os.environ.get("REPRO_PARALLEL_FAIL_SHARD", "")
-    if fail_key and fail_key in shard.key:
-        fail_attempts = int(os.environ.get("REPRO_PARALLEL_FAIL_ATTEMPTS", "1"))
-        if attempt < fail_attempts:
-            raise RuntimeError(
-                f"injected failure for shard {shard.key} (attempt {attempt})"
-            )
-
-    before = trace_cache_info()
-    store_before = store_stats()
-    started = time.perf_counter()
     if shard.kind == "accuracy":
         from repro.harness.experiment import measure_accuracy
 
@@ -179,8 +204,8 @@ def _execute_shard(
         result = measure_accuracy(
             predictor, trace, warmup_branches=warmup, engine=cfg["engine"]
         )
-        payload = {"misprediction_percent": result.misprediction_percent}
-    elif shard.kind == "ipc":
+        return {"misprediction_percent": result.misprediction_percent}
+    if shard.kind == "ipc":
         from repro.harness.sweep import make_policy
         from repro.uarch.config import MachineConfig
         from repro.uarch.simulator import CycleSimulator
@@ -204,15 +229,54 @@ def _execute_shard(
             if result.conditional_branches
             else 0.0
         )
-        payload = {
+        return {
             "ipc": result.ipc,
             "misprediction_percent": 100.0 * result.misprediction_rate,
             "override_rate": override_rate,
         }
+    raise ConfigurationError(f"unknown shard kind {shard.kind!r}")
+
+
+def _execute_shard(
+    shard: Shard, cfg: dict, attempt: int, spec_payload: dict | None = None
+) -> dict:
+    """Run one shard in a worker process; returns a JSON-able result dict.
+
+    With ``REPRO_RESULT_STORE`` set, the worker first consults the shared
+    content-addressed result store: a hit returns the stored payload
+    without loading a trace or building a predictor; a miss computes and
+    persists the cell for every later run (and every sibling worker).
+
+    Deferred imports keep executor scheduling importable without dragging in
+    the whole measurement stack (and they are free after the first shard).
+    """
+    from repro.harness.resultstore import active_result_store, result_store_stats
+    from repro.workloads.spec2000 import trace_cache_info
+    from repro.workloads.store import store_stats
+
+    fail_key = os.environ.get("REPRO_PARALLEL_FAIL_SHARD", "")
+    if fail_key and fail_key in shard.key:
+        fail_attempts = int(os.environ.get("REPRO_PARALLEL_FAIL_ATTEMPTS", "1"))
+        if attempt < fail_attempts:
+            raise RuntimeError(
+                f"injected failure for shard {shard.key} (attempt {attempt})"
+            )
+
+    before = trace_cache_info()
+    store_before = store_stats()
+    results_before = result_store_stats()
+    started = time.perf_counter()
+    result_store = active_result_store()
+    if result_store is not None:
+        key, cell = _shard_result_key(shard, cfg)
+        payload = result_store.get_or_compute(
+            key, cell, lambda: _compute_shard_payload(shard, cfg, spec_payload)
+        )
     else:
-        raise ConfigurationError(f"unknown shard kind {shard.kind!r}")
+        payload = _compute_shard_payload(shard, cfg, spec_payload)
     after = trace_cache_info()
     store_after = store_stats()
+    results_after = result_store_stats()
     return {
         "payload": payload,
         "duration_seconds": time.perf_counter() - started,
@@ -223,6 +287,9 @@ def _execute_shard(
         },
         "trace_store": {
             key: store_after[key] - store_before[key] for key in STORE_STAT_KEYS
+        },
+        "result_store": {
+            key: results_after[key] - results_before[key] for key in STORE_STAT_KEYS
         },
     }
 
@@ -442,6 +509,7 @@ def run_shards(
                                 retries=attempts[shard.key],
                                 trace_cache=result["trace_cache"],
                                 trace_store=result.get("trace_store", {}),
+                                result_store=result.get("result_store", {}),
                             )
                             outcomes[shard.key] = outcome
                             del remaining[shard.key]
@@ -490,6 +558,9 @@ def run_shards(
             for key, value in summary["trace_store"].items():
                 if value:
                     registry.counter(f"trace_store.{key}").inc(value)
+            for key, value in summary["result_store"].items():
+                if value:
+                    registry.counter(f"result_store.{key}").inc(value)
         if store is not None:
             store.write_manifest(summary)
 
@@ -531,6 +602,7 @@ def _summarize(
     workers: dict[str, dict] = {}
     cache = {"hits": 0, "misses": 0}
     store_totals = dict.fromkeys(STORE_STAT_KEYS, 0)
+    result_totals = dict.fromkeys(STORE_STAT_KEYS, 0)
     timings = []
     for shard in shards:
         outcome = outcomes.get(shard.key)
@@ -558,6 +630,7 @@ def _summarize(
                 delta = outcome.trace_store.get(key, 0)
                 worker["trace_store"][key] += delta
                 store_totals[key] += delta
+                result_totals[key] += outcome.result_store.get(key, 0)
     resumed = sum(1 for o in outcomes.values() if o.from_checkpoint)
     specs = {
         f"{family}@{budget}": payload
@@ -582,6 +655,7 @@ def _summarize(
         "workers": workers,
         "trace_cache": cache,
         "trace_store": store_totals,
+        "result_store": result_totals,
         "shard_timings": timings,
     }
 

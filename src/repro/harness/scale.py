@@ -81,6 +81,7 @@ def resolved_config() -> dict:
     ``results/*.txt`` can be reproduced from its sidecar.
     """
     from repro.harness.experiment import default_engine, default_jobs  # deferred: layering
+    from repro.harness.resultstore import result_store_path  # deferred: layering
     from repro.predictors import registry  # deferred: layering
     from repro.workloads.store import store_path  # deferred: layering
 
@@ -90,6 +91,7 @@ def resolved_config() -> dict:
         "engine": default_engine(),
         "jobs": default_jobs(),
         "trace_store": store_path(),
+        "result_store": result_store_path(),
         "accuracy_instructions": accuracy_instructions(),
         "ipc_instructions": ipc_instructions(),
         "warmup_fraction": WARMUP_FRACTION,

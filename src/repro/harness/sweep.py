@@ -21,14 +21,21 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro import obs
 from repro.common.errors import ConfigurationError
 from repro.core.overriding import OverridingPredictor
 from repro.harness.aggregate import arithmetic_mean, harmonic_mean
-from repro.harness.experiment import measure_accuracy, measure_override
+from repro.harness.experiment import default_engine, measure_accuracy, measure_override
+from repro.harness.resultstore import (
+    ResultCell,
+    accuracy_result_key,
+    active_result_store,
+    ipc_result_key,
+)
 from repro.harness.scale import (
+    WARMUP_FRACTION,
     accuracy_instructions,
     benchmark_names,
     ipc_instructions,
@@ -118,6 +125,8 @@ def accuracy_sweep(
             run_dir=run_dir,
             max_retries=max_retries,
         )
+    engine_name = engine if engine is not None else default_engine()
+    store = active_result_store()
     cells = []
     for benchmark in benchmarks:
         with obs.span(
@@ -126,23 +135,75 @@ def accuracy_sweep(
             families=",".join(families),
             budgets=len(budgets),
         ):
-            trace = spec2000_trace(benchmark, instructions=instructions)
-            warmup = warmup_branches(trace.conditional_branch_count)
+            # Lazy: with a warm result store the trace (and every predictor)
+            # is never touched — the whole benchmark resolves from disk.
+            loader = _LazyTrace(benchmark, instructions)
             for family in families:
                 for budget in budgets:
-                    predictor = build_family(family, budget)
-                    result = measure_accuracy(
-                        predictor, trace, warmup_branches=warmup, engine=engine
+                    payload = _accuracy_cell_payload(
+                        store, benchmark, family, budget, instructions,
+                        engine_name, loader,
                     )
                     cells.append(
                         AccuracyCell(
                             benchmark=benchmark,
                             family=family,
                             budget_bytes=budget,
-                            misprediction_percent=result.misprediction_percent,
+                            misprediction_percent=payload["misprediction_percent"],
                         )
                     )
     return cells
+
+
+class _LazyTrace:
+    """One benchmark trace fetched at most once, and only when some cell
+    actually misses the result store."""
+
+    def __init__(self, benchmark: str, instructions: int) -> None:
+        self.benchmark = benchmark
+        self.instructions = instructions
+        self._trace = None
+
+    @property
+    def trace(self):
+        if self._trace is None:
+            self._trace = spec2000_trace(self.benchmark, instructions=self.instructions)
+        return self._trace
+
+    @property
+    def warmup(self) -> int:
+        return warmup_branches(self.trace.conditional_branch_count)
+
+
+def _accuracy_cell_payload(
+    store,
+    benchmark: str,
+    family: str,
+    budget: int,
+    instructions: int,
+    engine_name: str,
+    loader: _LazyTrace,
+) -> dict:
+    """One accuracy cell through the result store (or computed directly).
+
+    Cached and computed payloads are both JSON round-trips of the same
+    floats, so warm sweeps are byte-identical to cold ones.
+    """
+
+    def compute() -> dict:
+        predictor = build_family(family, budget)
+        result = measure_accuracy(
+            predictor, loader.trace, warmup_branches=loader.warmup, engine=engine_name
+        )
+        return {"misprediction_percent": result.misprediction_percent}
+
+    if store is None:
+        return compute()
+    key = accuracy_result_key(
+        benchmark, family, budget, instructions, engine_name, WARMUP_FRACTION
+    )
+    cell = ResultCell("accuracy", benchmark, family, budget)
+    return store.get_or_compute(key, cell, compute)
 
 
 def mean_by_family_budget(cells: list[AccuracyCell]) -> dict[tuple[str, int], float]:
@@ -240,22 +301,19 @@ def ipc_sweep(
             run_dir=run_dir,
             max_retries=max_retries,
         )
+    store = active_result_store()
+    machine = asdict(config)
     cells = []
     for benchmark in benchmarks:
         with obs.span(
             "ipc_sweep.benchmark", benchmark=benchmark, mode=mode, budgets=len(budgets)
         ):
-            trace = spec2000_trace(benchmark, instructions=instructions)
-            ilp = get_profile(benchmark).ilp
+            loader = _LazyTrace(benchmark, instructions)
             for family in families:
                 for budget in budgets:
-                    policy = make_policy(family, budget, mode)
-                    simulator = CycleSimulator(policy, config=config, ilp=ilp)
-                    result: SimulationResult = simulator.run(trace)
-                    override_rate = (
-                        result.overrides / result.conditional_branches
-                        if result.conditional_branches
-                        else 0.0
+                    payload = _ipc_cell_payload(
+                        store, benchmark, family, budget, mode, instructions,
+                        machine, config, loader,
                     )
                     cells.append(
                         IpcCell(
@@ -263,12 +321,49 @@ def ipc_sweep(
                             family=family,
                             mode=mode,
                             budget_bytes=budget,
-                            ipc=result.ipc,
-                            misprediction_percent=100.0 * result.misprediction_rate,
-                            override_rate=override_rate,
+                            ipc=payload["ipc"],
+                            misprediction_percent=payload["misprediction_percent"],
+                            override_rate=payload["override_rate"],
                         )
                     )
     return cells
+
+
+def _ipc_cell_payload(
+    store,
+    benchmark: str,
+    family: str,
+    budget: int,
+    mode: str,
+    instructions: int,
+    machine: dict,
+    config: MachineConfig,
+    loader: _LazyTrace,
+) -> dict:
+    """One IPC cell through the result store (or simulated directly)."""
+
+    def compute() -> dict:
+        policy = make_policy(family, budget, mode)
+        simulator = CycleSimulator(
+            policy, config=config, ilp=get_profile(benchmark).ilp
+        )
+        result: SimulationResult = simulator.run(loader.trace)
+        override_rate = (
+            result.overrides / result.conditional_branches
+            if result.conditional_branches
+            else 0.0
+        )
+        return {
+            "ipc": result.ipc,
+            "misprediction_percent": 100.0 * result.misprediction_rate,
+            "override_rate": override_rate,
+        }
+
+    if store is None:
+        return compute()
+    key = ipc_result_key(benchmark, family, budget, mode, instructions, machine)
+    cell = ResultCell("ipc", benchmark, family, budget, mode)
+    return store.get_or_compute(key, cell, compute)
 
 
 def hmean_ipc_by_family_budget(cells: list[IpcCell]) -> dict[tuple[str, int], float]:

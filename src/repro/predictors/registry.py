@@ -102,6 +102,32 @@ class FamilySpec:
 _SPECS: dict[str, FamilySpec] = {}
 _loaded = False
 
+_build_count = 0
+
+
+def build_count() -> int:
+    """Times this process constructed a predictor through the registry.
+
+    A warm result-store run of a whole figure grid should leave this at
+    zero — :mod:`scripts/result_store_check` asserts exactly that (via the
+    mirrored ``predictors.builds`` obs counter)."""
+    return _build_count
+
+
+def reset_build_count() -> None:
+    """Zero the build counter (start of a measurement window)."""
+    global _build_count
+    _build_count = 0
+
+
+def _record_build() -> None:
+    global _build_count
+    _build_count += 1
+    from repro import obs  # deferred: obs must stay importable standalone
+
+    if obs.enabled():
+        obs.counter("predictors.builds").inc()
+
 
 def register(spec: FamilySpec) -> FamilySpec:
     """Add ``spec`` to the registry; returns it so call sites can chain.
@@ -173,6 +199,7 @@ def size_config(family: str, budget_bytes: int) -> SizingConfig:
 def build(family: str, budget_bytes: int) -> BranchPredictor:
     """Construct any registered family sized for ``budget_bytes``."""
     spec = get_spec(family)
+    _record_build()
     return spec.builder(size_config(family, budget_bytes))
 
 
@@ -188,6 +215,7 @@ def build_from_config(
             f"family {family!r} expects a {spec.config_type.__name__}, "
             f"got {type(config).__name__}"
         )
+    _record_build()
     return spec.builder(config)
 
 

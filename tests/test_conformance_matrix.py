@@ -184,6 +184,78 @@ class TestColumnarReplayConformance:
         assert blocks.misprediction_percent == columns.misprediction_percent
 
 
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+class TestResultStoreConformance:
+    """Result-store rows of the matrix: for every registered family, a cell
+    served from the cache is byte-identical to a fresh recomputation — on
+    both the scalar and batch engines — and a sizing-config or engine
+    change can never produce a false hit."""
+
+    @pytest.fixture
+    def result_store_env(self, tmp_path, monkeypatch):
+        from repro.harness.resultstore import reset_result_store_stats
+        from repro.workloads.spec2000 import clear_trace_cache
+
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "results"))
+        clear_trace_cache()
+        reset_result_store_stats()
+        yield
+        clear_trace_cache()
+        reset_result_store_stats()
+
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    def test_cached_equals_fresh(self, family, engine, result_store_env, monkeypatch):
+        from repro.harness.resultstore import result_store_stats
+
+        if engine == "batch" and not registry.get_spec(family).batch_kernel:
+            pytest.skip(f"{family} has no batch kernel")
+        kwargs = dict(
+            families=[family],
+            budgets=[CONFORMANCE_BUDGET],
+            benchmarks=["gcc"],
+            instructions=20_000,
+            engine=engine,
+        )
+        cold = accuracy_sweep(**kwargs)
+        assert result_store_stats()["writes"] == 1
+        warm = accuracy_sweep(**kwargs)
+        assert result_store_stats()["hits"] == 1
+        assert warm == cold  # frozen-dataclass equality: float bit patterns
+        # And the cache never drifted from an uncached recomputation.
+        monkeypatch.delenv("REPRO_RESULT_STORE")
+        fresh = accuracy_sweep(**kwargs)
+        assert fresh == cold
+
+    def test_engine_change_misses_key(self, family):
+        from repro.harness.resultstore import accuracy_result_key
+
+        scalar = accuracy_result_key("gcc", family, CONFORMANCE_BUDGET, 20_000, "scalar", 0.2)
+        batch = accuracy_result_key("gcc", family, CONFORMANCE_BUDGET, 20_000, "batch", 0.2)
+        assert scalar != batch
+
+    def test_sizing_config_change_misses_key(self, family):
+        """The key digests the serialized sizing config: perturbing any
+        config field (as a sizing-rule change would) yields a new key."""
+        import json
+
+        from repro.harness.resultstore import accuracy_key_payload, result_digest
+
+        payload = accuracy_key_payload("gcc", family, CONFORMANCE_BUDGET, 20_000, "scalar", 0.2)
+        base = result_digest(payload)
+        config = payload["spec"]["config"]
+        assert config, f"family {family} serializes an empty sizing config"
+        for field in sorted(config):
+            mutated = json.loads(json.dumps(payload))
+            value = mutated["spec"]["config"][field]
+            if isinstance(value, bool):
+                mutated["spec"]["config"][field] = not value
+            elif isinstance(value, (int, float)):
+                mutated["spec"]["config"][field] = value + 1
+            else:
+                mutated["spec"]["config"][field] = f"{value}x"
+            assert result_digest(mutated) != base, field
+
+
 def test_serial_and_parallel_sweeps_agree_for_every_family():
     """The whole matrix through both sweep engines: cell-for-cell equality
     (including float bit patterns) between jobs=1 and jobs=2."""

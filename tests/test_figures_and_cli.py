@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.harness import figures
 from repro.harness.cli import RUNNERS, main
+
+#: The shipped declarative target configs (consumed by --config).
+CONFIGS = Path(__file__).resolve().parent.parent / "configs"
 
 
 @pytest.fixture(autouse=True)
@@ -185,3 +192,195 @@ class TestCli:
         assert main(["table2", "--profile"]) == 0
         profiled = capsys.readouterr().out
         assert profiled.startswith(plain)  # figure text is byte-identical
+
+
+def parse_dry_run(output: str) -> dict[str, dict]:
+    """The --dry-run table as {target: {mode, cells, hit, miss, inferred}}."""
+    rows = {}
+    for line in output.splitlines():
+        parts = line.split()
+        if len(parts) >= 7 and parts[1] in ("runner", "sweep", "inferred"):
+            rows[parts[0]] = {
+                "mode": parts[1],
+                "cells": int(parts[2]),
+                "hit": int(parts[3]),
+                "miss": int(parts[4]),
+                "inferred": parts[5] == "yes",
+            }
+    return rows
+
+
+class TestConfigTargets:
+    """The --config path: declarative targets match the legacy CLI byte for
+    byte, --dry-run classifies cells against the result store, inferred
+    targets resolve purely from other configs' stored results, and an
+    external family gets a figure with zero harness edits."""
+
+    #: Cells in the full Figure 1 grid at the two-benchmark test scale.
+    FIGURE1_CELLS = 4 * 9 * 2
+
+    @pytest.fixture(scope="class")
+    def warmed(self, tmp_path_factory):
+        """One cold legacy figure1 run feeding a class-shared result store
+        (the expensive sweep is paid once; every test below runs warm)."""
+        from repro.harness.resultstore import reset_result_store_stats
+        from repro.workloads.spec2000 import clear_trace_cache
+
+        store = tmp_path_factory.mktemp("cfg-results")
+        out = tmp_path_factory.mktemp("cfg-out")
+        env = {
+            "REPRO_SCALE": "0.05",
+            "REPRO_BENCHMARKS": "gzip,eon",
+            "REPRO_RESULT_STORE": str(store),
+        }
+        saved = {key: os.environ.get(key) for key in env}
+        os.environ.update(env)
+        clear_trace_cache()
+        reset_result_store_stats()
+        try:
+            assert main(["figure1", "--output-dir", str(out / "legacy")]) == 0
+            yield {
+                "store": store,
+                "out": out,
+                "legacy": (out / "legacy" / "figure1.txt").read_bytes(),
+            }
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+    @pytest.fixture(autouse=True)
+    def tiny_scale(self, monkeypatch, warmed):
+        """Override the module fixture: same scale/benchmarks as the cold
+        run, pointed at the class-shared store, with clean counters."""
+        from repro.harness.resultstore import reset_result_store_stats
+        from repro.predictors import registry
+        from repro.workloads.spec2000 import clear_trace_cache
+
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gzip,eon")
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(warmed["store"]))
+        clear_trace_cache()
+        reset_result_store_stats()
+        registry.reset_build_count()
+
+    def test_explicit_config_matches_legacy_with_zero_builds(self, warmed, capsys):
+        from repro.predictors import registry
+
+        out = warmed["out"] / "explicit"
+        assert main(["--config", str(CONFIGS / "figure1.json"), "--output-dir", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "figure1.txt").read_bytes() == warmed["legacy"]
+        assert registry.build_count() == 0  # served entirely from the store
+
+    def test_inferred_config_matches_legacy_with_zero_builds(self, warmed, capsys):
+        from repro.predictors import registry
+
+        out = warmed["out"] / "inferred"
+        assert (
+            main(
+                [
+                    "--config", str(CONFIGS / "figure1.json"),
+                    "--config", str(CONFIGS / "figure1_inferred.json"),
+                    "--output-dir", str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (out / "figure1_inferred.txt").read_bytes() == warmed["legacy"]
+        assert registry.build_count() == 0
+
+    def test_dry_run_classifies_hits_and_misses(self, warmed, capsys, monkeypatch):
+        from repro.predictors import registry
+
+        args = [
+            "--config", str(CONFIGS / "figure1.json"),
+            "--config", str(CONFIGS / "figure1_inferred.json"),
+            "--dry-run",
+        ]
+        assert main(args) == 0
+        rows = parse_dry_run(capsys.readouterr().out)
+        assert rows["figure1"] == {
+            "mode": "runner", "cells": self.FIGURE1_CELLS,
+            "hit": self.FIGURE1_CELLS, "miss": 0, "inferred": False,
+        }
+        assert rows["figure1_inferred"]["inferred"] is True
+        assert rows["figure1_inferred"]["hit"] == self.FIGURE1_CELLS
+        assert registry.build_count() == 0  # classification executes nothing
+
+        # Against an empty store every cell is a miss.
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(warmed["out"] / "empty-store"))
+        assert main(args) == 0
+        rows = parse_dry_run(capsys.readouterr().out)
+        assert rows["figure1"]["miss"] == self.FIGURE1_CELLS
+        assert rows["figure1"]["hit"] == 0
+
+    def test_toy_family_config_needs_no_harness_edits(self, warmed, tmp_path, capsys):
+        """A config naming an external family (registered by its own module,
+        listed in family_modules) renders a figure through the stock CLI."""
+        config = {
+            "schema": 1,
+            "target": "toy_figure",
+            "mode": "sweep",
+            "title": "Toy family: mean misprediction (%)",
+            "family_modules": ["tests.toy_family"],
+            "grids": [
+                {
+                    "kind": "accuracy",
+                    "families": ["toy_direct"],
+                    "budgets": [8192, 65536],
+                }
+            ],
+        }
+        path = tmp_path / "toy.json"
+        path.write_text(json.dumps(config), encoding="utf-8")
+        out = tmp_path / "out"
+        assert main(["--config", str(path), "--output-dir", str(out)]) == 0
+        capsys.readouterr()
+        text = (out / "toy_figure.txt").read_text(encoding="utf-8")
+        assert "Toy family" in text and "toy_direct" in text and "64K" in text
+
+    def test_config_directory_loads_every_file(self, capsys):
+        """--config with a directory loads all *.json, and the shipped
+        configs/ directory itself is a valid, classifiable set."""
+        assert main(["--config", str(CONFIGS), "--dry-run"]) == 0
+        rows = parse_dry_run(capsys.readouterr().out)
+        assert set(rows) >= {"figure1", "figure7", "table1", "figure1_inferred", "table_mid_accuracy"}
+        assert rows["table1"]["cells"] == 0  # static table: nothing to sweep
+
+    def test_inferred_requires_loaded_base(self):
+        with pytest.raises(SystemExit):
+            main(["--config", str(CONFIGS / "figure1_inferred.json"), "--dry-run"])
+
+    def test_inferred_cells_must_be_covered(self, tmp_path):
+        config = {
+            "schema": 1,
+            "target": "uncovered",
+            "mode": "inferred",
+            "title": "x",
+            "based_on": ["figure1"],
+            "grids": [
+                {"kind": "accuracy", "families": ["gshare"], "budgets": [1024]}
+            ],
+        }
+        path = tmp_path / "uncovered.json"
+        path.write_text(json.dumps(config), encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["--config", str(CONFIGS / "figure1.json"), "--config", str(path), "--dry-run"])
+
+    def test_bad_schema_and_bad_mode_rejected(self, tmp_path):
+        bad_schema = tmp_path / "bad_schema.json"
+        bad_schema.write_text('{"schema": 99, "target": "x", "mode": "runner"}')
+        with pytest.raises(SystemExit):
+            main(["--config", str(bad_schema), "--dry-run"])
+        bad_mode = tmp_path / "bad_mode.json"
+        bad_mode.write_text('{"schema": 1, "target": "x", "mode": "psychic"}')
+        with pytest.raises(SystemExit):
+            main(["--config", str(bad_mode), "--dry-run"])
+
+    def test_dry_run_requires_config(self):
+        with pytest.raises(SystemExit):
+            main(["--dry-run"])

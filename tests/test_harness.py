@@ -142,6 +142,7 @@ class TestScale:
             "engine",
             "jobs",
             "trace_store",
+            "result_store",
             "accuracy_instructions",
             "ipc_instructions",
             "warmup_fraction",
