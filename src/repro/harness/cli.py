@@ -41,8 +41,11 @@ after each target, and writes a run-manifest sidecar
 (``<target>.manifest.json`` — see DESIGN.md §8) that ``repro-stats`` can
 render and diff.  ``--verbose`` mirrors span open/close lines on stderr so
 long sweeps show progress; ``REPRO_LOG=<path>`` appends structured JSONL
-span events.  Without any of these flags the output is byte-identical to
-the uninstrumented tool.
+run events — spans with distributed-trace context, store operations,
+retries, checkpoints — that the ``repro-stats timeline | flame |
+critical-path | stores | regress`` subcommands aggregate (see DESIGN.md
+§13).  Without any of these flags the output is byte-identical to the
+uninstrumented tool.
 """
 
 from __future__ import annotations
@@ -375,6 +378,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.max_retries is not None:
         os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
     targets = list(RUNNERS) if "all" in args.targets else args.targets
+    # Own the REPRO_LOG file before any sweep forks workers, so worker
+    # processes route their events to per-PID sidecars (no interleaving).
+    obs.claim_log_ownership()
     prior_enabled = obs.enabled_override()
     try:
         if args.profile:

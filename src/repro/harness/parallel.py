@@ -48,7 +48,20 @@ Test hooks (used by the CI kill/resume job and the test suite):
 * ``REPRO_PARALLEL_FAIL_SHARD=<substring>`` +
   ``REPRO_PARALLEL_FAIL_ATTEMPTS=N`` — shards whose key contains the
   substring fail their first N attempts, exercising the retry path
-  deterministically.
+  deterministically;
+* ``REPRO_PARALLEL_SLOW_SHARD=<substring>`` +
+  ``REPRO_PARALLEL_SLOW_SHARD_SECONDS=S`` — shards whose key contains the
+  substring sleep S seconds before executing, injecting a deterministic
+  straggler (the synthetic slowdown the ``repro-stats regress`` CI gate
+  and the straggler-report tests exercise).
+
+Telemetry: when ``REPRO_LOG`` is set, the run leaves a JSONL event trail
+(:mod:`repro.obs.events`).  The parent claims ownership of the log file
+before the pool spawns, serializes the active span context into every
+shard call so worker spans (``parallel.shard``) attach to the parent's
+``parallel.run`` span, and at the end of the run merges the per-PID worker
+sidecar files back into the main log and emits the run summary — the feed
+for ``repro-stats timeline | flame | critical-path | stores | regress``.
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro import obs
 from repro.common.atomic import atomic_write_json
+from repro.obs import events as obs_events
 from repro.common.errors import ConfigurationError, ReproError
 from repro.harness.experiment import default_jobs
 
@@ -238,7 +252,11 @@ def _compute_shard_payload(shard: Shard, cfg: dict, spec_payload: dict | None) -
 
 
 def _execute_shard(
-    shard: Shard, cfg: dict, attempt: int, spec_payload: dict | None = None
+    shard: Shard,
+    cfg: dict,
+    attempt: int,
+    spec_payload: dict | None = None,
+    trace_ctx: dict | None = None,
 ) -> dict:
     """Run one shard in a worker process; returns a JSON-able result dict.
 
@@ -247,12 +265,19 @@ def _execute_shard(
     without loading a trace or building a predictor; a miss computes and
     persists the cell for every later run (and every sibling worker).
 
+    ``trace_ctx`` is the parent run's serialized span context: the worker
+    adopts it, so the ``parallel.shard`` span it opens here (and any store
+    spans beneath) parent to the ``parallel.run`` span living in the parent
+    process — the cross-process half of the distributed trace.
+
     Deferred imports keep executor scheduling importable without dragging in
     the whole measurement stack (and they are free after the first shard).
     """
     from repro.harness.resultstore import active_result_store, result_store_stats
     from repro.workloads.spec2000 import trace_cache_info
     from repro.workloads.store import store_stats
+
+    obs.adopt_context(trace_ctx)
 
     fail_key = os.environ.get("REPRO_PARALLEL_FAIL_SHARD", "")
     if fail_key and fail_key in shard.key:
@@ -261,19 +286,26 @@ def _execute_shard(
             raise RuntimeError(
                 f"injected failure for shard {shard.key} (attempt {attempt})"
             )
-
     before = trace_cache_info()
     store_before = store_stats()
     results_before = result_store_stats()
     started = time.perf_counter()
-    result_store = active_result_store()
-    if result_store is not None:
-        key, cell = _shard_result_key(shard, cfg)
-        payload = result_store.get_or_compute(
-            key, cell, lambda: _compute_shard_payload(shard, cfg, spec_payload)
-        )
-    else:
-        payload = _compute_shard_payload(shard, cfg, spec_payload)
+    with obs.span("parallel.shard", shard=shard.key, attempt=attempt):
+        # Inside the span so the injected straggler is visible to the
+        # telemetry it exists to exercise (straggler stats, regress gate).
+        slow_key = os.environ.get("REPRO_PARALLEL_SLOW_SHARD", "")
+        if slow_key and slow_key in shard.key:
+            time.sleep(
+                float(os.environ.get("REPRO_PARALLEL_SLOW_SHARD_SECONDS", "0") or 0)
+            )
+        result_store = active_result_store()
+        if result_store is not None:
+            key, cell = _shard_result_key(shard, cfg)
+            payload = result_store.get_or_compute(
+                key, cell, lambda: _compute_shard_payload(shard, cfg, spec_payload)
+            )
+        else:
+            payload = _compute_shard_payload(shard, cfg, spec_payload)
     after = trace_cache_info()
     store_after = store_stats()
     results_after = result_store_stats()
@@ -434,6 +466,10 @@ def run_shards(
     jobs = pool_jobs(jobs)
     max_retries = resolve_max_retries(max_retries)
     cfg = _json_roundtrip(cfg)
+    # Claim the REPRO_LOG file before any worker exists: workers inherit the
+    # owner PID (env var survives both fork and spawn) and route their
+    # events to per-PID sidecars instead of interleaving into our file.
+    obs.claim_log_ownership()
     spec_payloads = _shard_spec_payloads(shards)
     kinds = {shard.kind for shard in shards}
     store = None
@@ -448,6 +484,7 @@ def run_shards(
         loaded = store.load(shard) if store is not None else None
         if loaded is not None:
             outcomes[shard.key] = loaded
+            obs_events.emit_checkpoint(shard.key, "load")
         else:
             remaining[shard.key] = shard
 
@@ -463,6 +500,7 @@ def run_shards(
         failures.append(
             {"shard": shard.key, "attempt": attempts[shard.key], "error": error}
         )
+        obs_events.emit_retry(shard.key, attempts[shard.key], error)
         attempts[shard.key] += 1
         if attempts[shard.key] > max_retries:
             raise SweepExecutionError(
@@ -474,6 +512,8 @@ def run_shards(
         with obs.span(
             "parallel.run", label=label, jobs=jobs, shards=len(shards), resumed=len(outcomes)
         ):
+            # The context workers adopt so their shard spans parent here.
+            trace_ctx = obs.current_context()
             while remaining:
                 round_shards = list(remaining.values())
                 with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -484,6 +524,7 @@ def run_shards(
                             cfg,
                             attempts[shard.key],
                             spec_payloads[(shard.family, shard.budget_bytes)],
+                            trace_ctx,
                         ): shard
                         for shard in round_shards
                     }
@@ -515,6 +556,7 @@ def run_shards(
                             del remaining[shard.key]
                             if store is not None:
                                 store.store(outcome)
+                                obs_events.emit_checkpoint(shard.key, "store")
                             executed += 1
                             if profiling:
                                 registry = obs.registry()
@@ -547,6 +589,17 @@ def run_shards(
             time.perf_counter() - started, spec_payloads,
         )
         _RUN_REPORTS.append(summary)
+        # Pull every worker's per-PID sidecar into the main event log and
+        # close the trail with the authoritative run summary (the numbers
+        # ``repro-stats regress`` gates on).  Both no-op without REPRO_LOG.
+        obs_events.collect_worker_events()
+        obs_events.emit_counter(
+            {f"trace_cache.{key}": value for key, value in summary["trace_cache"].items()}
+        )
+        obs_events.emit_run_summary(
+            label,
+            {k: v for k, v in summary.items() if k not in ("specs", "shard_timings")},
+        )
         if profiling:
             registry = obs.registry()
             registry.counter("parallel.shards_resumed").inc(

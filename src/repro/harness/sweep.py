@@ -112,47 +112,58 @@ def accuracy_sweep(
     if instructions is None:
         instructions = accuracy_instructions()
     jobs, run_dir = _resolve_parallel(jobs, run_dir)
-    if jobs > 1:
-        from repro.harness.parallel import parallel_accuracy_sweep
+    # The sweep-level span is the trace's local root for this sweep: the
+    # serial per-benchmark spans (and, with jobs > 1, the executor's
+    # parallel.run span plus every worker shard span) all parent beneath it.
+    with obs.span(
+        "accuracy_sweep",
+        benchmarks=len(benchmarks),
+        families=len(families),
+        budgets=len(budgets),
+        jobs=jobs,
+    ):
+        if jobs > 1:
+            from repro.harness.parallel import parallel_accuracy_sweep
 
-        return parallel_accuracy_sweep(
-            families,
-            budgets,
-            benchmarks,
-            instructions,
-            engine,
-            jobs=jobs,
-            run_dir=run_dir,
-            max_retries=max_retries,
-        )
-    engine_name = engine if engine is not None else default_engine()
-    store = active_result_store()
-    cells = []
-    for benchmark in benchmarks:
-        with obs.span(
-            "accuracy_sweep.benchmark",
-            benchmark=benchmark,
-            families=",".join(families),
-            budgets=len(budgets),
-        ):
-            # Lazy: with a warm result store the trace (and every predictor)
-            # is never touched — the whole benchmark resolves from disk.
-            loader = _LazyTrace(benchmark, instructions)
-            for family in families:
-                for budget in budgets:
-                    payload = _accuracy_cell_payload(
-                        store, benchmark, family, budget, instructions,
-                        engine_name, loader,
-                    )
-                    cells.append(
-                        AccuracyCell(
-                            benchmark=benchmark,
-                            family=family,
-                            budget_bytes=budget,
-                            misprediction_percent=payload["misprediction_percent"],
+            return parallel_accuracy_sweep(
+                families,
+                budgets,
+                benchmarks,
+                instructions,
+                engine,
+                jobs=jobs,
+                run_dir=run_dir,
+                max_retries=max_retries,
+            )
+        engine_name = engine if engine is not None else default_engine()
+        store = active_result_store()
+        cells = []
+        for benchmark in benchmarks:
+            with obs.span(
+                "accuracy_sweep.benchmark",
+                benchmark=benchmark,
+                families=",".join(families),
+                budgets=len(budgets),
+            ):
+                # Lazy: with a warm result store the trace (and every
+                # predictor) is never touched — the whole benchmark resolves
+                # from disk.
+                loader = _LazyTrace(benchmark, instructions)
+                for family in families:
+                    for budget in budgets:
+                        payload = _accuracy_cell_payload(
+                            store, benchmark, family, budget, instructions,
+                            engine_name, loader,
                         )
-                    )
-    return cells
+                        cells.append(
+                            AccuracyCell(
+                                benchmark=benchmark,
+                                family=family,
+                                budget_bytes=budget,
+                                misprediction_percent=payload["misprediction_percent"],
+                            )
+                        )
+        return cells
 
 
 class _LazyTrace:
@@ -287,46 +298,56 @@ def ipc_sweep(
     if instructions is None:
         instructions = ipc_instructions()
     jobs, run_dir = _resolve_parallel(jobs, run_dir)
-    if jobs > 1:
-        from repro.harness.parallel import parallel_ipc_sweep
+    # Same trace shape as accuracy_sweep: one sweep-level root span over
+    # either the serial per-benchmark spans or the parallel executor's tree.
+    with obs.span(
+        "ipc_sweep",
+        mode=mode,
+        benchmarks=len(benchmarks),
+        families=len(families),
+        budgets=len(budgets),
+        jobs=jobs,
+    ):
+        if jobs > 1:
+            from repro.harness.parallel import parallel_ipc_sweep
 
-        return parallel_ipc_sweep(
-            families,
-            budgets,
-            mode,
-            benchmarks,
-            instructions,
-            config,
-            jobs=jobs,
-            run_dir=run_dir,
-            max_retries=max_retries,
-        )
-    store = active_result_store()
-    machine = asdict(config)
-    cells = []
-    for benchmark in benchmarks:
-        with obs.span(
-            "ipc_sweep.benchmark", benchmark=benchmark, mode=mode, budgets=len(budgets)
-        ):
-            loader = _LazyTrace(benchmark, instructions)
-            for family in families:
-                for budget in budgets:
-                    payload = _ipc_cell_payload(
-                        store, benchmark, family, budget, mode, instructions,
-                        machine, config, loader,
-                    )
-                    cells.append(
-                        IpcCell(
-                            benchmark=benchmark,
-                            family=family,
-                            mode=mode,
-                            budget_bytes=budget,
-                            ipc=payload["ipc"],
-                            misprediction_percent=payload["misprediction_percent"],
-                            override_rate=payload["override_rate"],
+            return parallel_ipc_sweep(
+                families,
+                budgets,
+                mode,
+                benchmarks,
+                instructions,
+                config,
+                jobs=jobs,
+                run_dir=run_dir,
+                max_retries=max_retries,
+            )
+        store = active_result_store()
+        machine = asdict(config)
+        cells = []
+        for benchmark in benchmarks:
+            with obs.span(
+                "ipc_sweep.benchmark", benchmark=benchmark, mode=mode, budgets=len(budgets)
+            ):
+                loader = _LazyTrace(benchmark, instructions)
+                for family in families:
+                    for budget in budgets:
+                        payload = _ipc_cell_payload(
+                            store, benchmark, family, budget, mode, instructions,
+                            machine, config, loader,
                         )
-                    )
-    return cells
+                        cells.append(
+                            IpcCell(
+                                benchmark=benchmark,
+                                family=family,
+                                mode=mode,
+                                budget_bytes=budget,
+                                ipc=payload["ipc"],
+                                misprediction_percent=payload["misprediction_percent"],
+                                override_rate=payload["override_rate"],
+                            )
+                        )
+        return cells
 
 
 def _ipc_cell_payload(

@@ -1,4 +1,5 @@
-"""Observability layer: metrics, span tracing, manifests, attribution.
+"""Observability layer: metrics, distributed span tracing, manifests,
+run-event bus, attribution and campaign telemetry.
 
 One import gives every layer the same instruments::
 
@@ -11,12 +12,36 @@ Collection is off by default and the disabled path is engineered to cost
 nothing measurable: measurement loops check :func:`enabled` once per call
 (never per branch), and figure outputs are byte-identical either way.
 
-Environment variables (see DESIGN.md §8 for the event/manifest schema):
+Environment variables (see DESIGN.md §8/§13 for the event/manifest schema):
 
 * ``REPRO_PROFILE`` — truthy enables metric + attribution collection
   (``repro-figures --profile`` pins it for the process);
-* ``REPRO_LOG`` — path receiving structured JSONL span events;
+* ``REPRO_LOG`` — path receiving structured JSONL run events;
 * ``REPRO_VERBOSE`` — truthy mirrors span open/close lines on stderr.
+
+Event-log layout (``REPRO_LOG=<dir>/events.jsonl``):
+
+* The **owning process** appends to ``events.jsonl`` itself.  Ownership is
+  recorded in the ``REPRO_LOG_OWNER_PID`` environment variable by
+  :func:`claim_log_ownership` (the parallel executor and the figures CLI
+  both claim before any fan-out).
+* Every **other process** that inherits ``REPRO_LOG`` — a process-pool
+  sweep worker, chiefly — sees a foreign owner PID and appends to its own
+  per-PID sidecar ``events.jsonl.<pid>`` instead, so concurrent writers
+  never interleave records inside one file.
+* When a parallel run finishes, the parent merges all worker sidecars back
+  into the main file, timestamp-ordered
+  (:func:`repro.obs.events.collect_worker_events`), and deletes them.
+  Leftover sidecars from a crashed run are still read by
+  :func:`repro.obs.events.read_run_events`, so telemetry survives an
+  unclean shutdown.  Pointing ``REPRO_LOG`` inside ``--run-dir`` keeps the
+  whole trail under the run directory.
+
+Every span carries a ``trace_id``/``span_id``/``parent_id`` context;
+workers adopt the parent's context (:func:`adopt_context`), so
+:mod:`repro.obs.aggregate` reconstructs one cross-process span tree per
+run and ``repro-stats timeline | flame | critical-path | stores | regress``
+render it.
 """
 
 from __future__ import annotations
@@ -34,7 +59,12 @@ from repro.obs.registry import (
     set_enabled,
 )
 from repro.obs.tracing import (
+    adopt_context,
+    claim_log_ownership,
+    current_context,
     default_registry,
+    event_sink,
+    last_trace_id,
     log_event,
     log_path,
     set_verbose,
@@ -50,12 +80,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Timer",
+    "adopt_context",
+    "claim_log_ownership",
     "counter",
+    "current_context",
     "default_registry",
     "enabled",
     "enabled_override",
+    "event_sink",
     "gauge",
     "histogram",
+    "last_trace_id",
     "log_event",
     "log_path",
     "registry",

@@ -20,7 +20,7 @@ import sys
 import time
 
 from repro.obs.registry import MetricsRegistry
-from repro.obs.tracing import default_registry
+from repro.obs.tracing import default_registry, last_trace_id
 
 #: Bumped when the manifest layout changes incompatibly.
 MANIFEST_VERSION = 1
@@ -92,6 +92,9 @@ def build_manifest(
         "manifest_version": MANIFEST_VERSION,
         "target": target,
         "created_unix": time.time(),
+        # Joins the manifest to the run's span tree in the event log
+        # (volatile: not diffed).
+        "trace_id": last_trace_id(),
         "duration_seconds": duration_seconds,
         "config": config,
         "environment": environment_info(),

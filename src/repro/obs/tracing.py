@@ -1,36 +1,63 @@
-"""Span tracing: nested wall-time scopes with structured JSONL output.
+"""Span tracing: nested wall-time scopes with distributed-trace context.
 
-A *span* wraps one phase of a run (a figure, a sweep, one benchmark within
-a sweep).  Closing a span:
+A *span* wraps one phase of a run (a figure, a sweep, one shard in a
+worker process).  Every active span carries a **span context** —
+``trace_id`` (shared by every span of one run), ``span_id`` (unique per
+span) and ``parent_id`` (the enclosing span, possibly in another
+process) — so the JSONL event stream reconstructs into a single
+cross-process tree (:mod:`repro.obs.aggregate`).
+
+Closing a span:
 
 * records its duration into the default registry's ``span.<name>`` timer
   (when collection is enabled) — these timers are the per-phase timings a
   run manifest reports;
-* appends a JSON line to the path named by the ``REPRO_LOG`` environment
-  variable (when set), so long sweeps leave a machine-readable trail;
+* appends ``span_open`` / ``span`` JSON events to the event sink derived
+  from the ``REPRO_LOG`` environment variable (see :mod:`repro.obs` for
+  the per-PID sidecar layout), so long sweeps leave a machine-readable
+  trail;
 * mirrors a human-readable line to stderr when verbose (``--verbose`` or
   ``REPRO_VERBOSE``) — the progress feed for otherwise-silent sweeps.
 
-When none of those sinks is active, ``span`` yields a no-op handle without
-touching the clock, so the fully-disabled path stays free.
+Cross-process propagation: the parent serializes :func:`current_context`
+into the payload it ships to each worker; the worker calls
+:func:`adopt_context` so its spans parent to the remote run span.  The
+``REPRO_LOG_OWNER_PID`` environment variable (set by
+:func:`claim_log_ownership` before workers are spawned) routes any
+non-owning process to a per-PID sidecar file, so concurrent writers never
+interleave inside one file.
+
+When no sink is active, ``span`` yields a no-op handle without touching
+the clock, so the fully-disabled path stays free.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import secrets
 import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.events import EVENT_SCHEMA
 from repro.obs.registry import MetricsRegistry, _env_flag, enabled
 
 #: Process-global default registry shared by every instrumentation point.
 DEFAULT_REGISTRY = MetricsRegistry()
 
+#: Environment variable naming the PID that owns the main ``REPRO_LOG``
+#: file.  Set by :func:`claim_log_ownership`; a process inheriting it with
+#: a *different* PID (a pool worker) writes to ``<path>.<pid>`` instead.
+LOG_OWNER_ENV = "REPRO_LOG_OWNER_PID"
+
 _verbose: bool | None = None
-_stack: list[str] = []
+_stack: list["ActiveSpan"] = []
+#: Remote parent context adopted by worker processes (None in the parent).
+_ambient: dict | None = None
+#: trace_id of the most recently opened span (run manifests record it).
+_last_trace_id: str | None = None
 
 
 def default_registry() -> MetricsRegistry:
@@ -61,14 +88,100 @@ def tracing_active() -> bool:
     return enabled() or verbose() or log_path() is not None
 
 
-def log_event(event: str, **fields: object) -> None:
-    """Append one structured event line to ``REPRO_LOG`` (no-op when unset)."""
+# -- span context --------------------------------------------------------------
+
+
+def _new_id() -> str:
+    return secrets.token_hex(8)
+
+
+def current_context() -> dict | None:
+    """The active span context as a JSON-able dict, or None.
+
+    The innermost open span wins; a worker with no open span reports the
+    context it adopted from its parent.  This is exactly the payload to
+    ship across a process boundary and hand to :func:`adopt_context`.
+    """
+    if _stack:
+        top = _stack[-1]
+        return {"trace_id": top.trace_id, "span_id": top.span_id}
+    if _ambient is not None:
+        return dict(_ambient)
+    return None
+
+
+def adopt_context(context: dict | None) -> None:
+    """Adopt a remote parent span context (worker side).
+
+    Until cleared (``adopt_context(None)``), spans opened in this process
+    with no local parent attach to the adopted ``span_id`` and share its
+    ``trace_id`` — the mechanism that parents worker shard spans to the
+    run span living in another process.
+    """
+    global _ambient
+    if context is None:
+        _ambient = None
+    else:
+        _ambient = {
+            "trace_id": str(context.get("trace_id", "")),
+            "span_id": context.get("span_id"),
+        }
+
+
+def last_trace_id() -> str | None:
+    """trace_id of the most recently opened span in this process."""
+    return _last_trace_id
+
+
+def claim_log_ownership() -> None:
+    """Mark this process as the owner of the main ``REPRO_LOG`` file.
+
+    Call before spawning worker processes: workers inherit the
+    ``REPRO_LOG_OWNER_PID`` variable, see a foreign PID, and route their
+    events to per-PID sidecar files instead of interleaving appends into
+    the parent's file.  Idempotent; a no-op when no log is configured or
+    another process already owns it.
+    """
+    if log_path() is not None and not os.environ.get(LOG_OWNER_ENV):
+        os.environ[LOG_OWNER_ENV] = str(os.getpid())
+
+
+def event_sink() -> str | None:
+    """The JSONL file *this process* appends events to (None when no log).
+
+    The owning process (per ``REPRO_LOG_OWNER_PID``) writes to the
+    ``REPRO_LOG`` path itself; every other process writes to its own
+    ``<path>.<pid>`` sidecar, merged back by the parallel executor via
+    :func:`repro.obs.events.collect_worker_events`.
+    """
     path = log_path()
     if path is None:
+        return None
+    owner = os.environ.get(LOG_OWNER_ENV)
+    if owner and owner != str(os.getpid()):
+        return f"{path}.{os.getpid()}"
+    return path
+
+
+def log_event(event: str, **fields: object) -> None:
+    """Append one structured event line to the event sink (no-op when
+    ``REPRO_LOG`` is unset).  Every record carries the schema version,
+    a timestamp and the emitting PID."""
+    path = event_sink()
+    if path is None:
         return
-    record = {"event": event, "ts": time.time(), **fields}
+    record = {
+        "event": event,
+        "v": EVENT_SCHEMA,
+        "ts": time.time(),
+        "pid": os.getpid(),
+        **fields,
+    }
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+
+# -- spans ---------------------------------------------------------------------
 
 
 @dataclass
@@ -78,6 +191,10 @@ class ActiveSpan:
     name: str
     depth: int
     attrs: dict[str, object] = field(default_factory=dict)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
+    start_unix: float = 0.0
 
     def annotate(self, **attrs: object) -> None:
         """Attach extra key/value fields to the span's closing event."""
@@ -92,16 +209,36 @@ def span(name: str, **attrs: object):
     """Trace one named phase: ``with obs.span("figure1.sweep", engine=...):``.
 
     Yields an :class:`ActiveSpan` whose ``annotate`` method adds fields to
-    the emitted event.  Nesting depth is tracked so JSONL consumers (and the
-    verbose mirror's indentation) can reconstruct the tree.
+    the emitted close event.  The span inherits its ``trace_id`` from the
+    enclosing span (local, or adopted from a remote parent); a span with
+    no parent starts a fresh trace.
     """
     if not tracing_active():
         yield _NOOP_SPAN
         return
-    handle = ActiveSpan(name=name, depth=len(_stack), attrs=dict(attrs))
-    _stack.append(name)
+    global _last_trace_id
+    parent = current_context()
+    handle = ActiveSpan(
+        name=name,
+        depth=len(_stack),
+        attrs=dict(attrs),
+        trace_id=parent["trace_id"] if parent else _new_id(),
+        span_id=_new_id(),
+        parent_id=parent["span_id"] if parent else None,
+        start_unix=time.time(),
+    )
+    _last_trace_id = handle.trace_id
+    _stack.append(handle)
     if verbose():
         print(f"[obs] {'  ' * handle.depth}> {name}", file=sys.stderr)
+    log_event(
+        "span_open",
+        name=name,
+        depth=handle.depth,
+        trace_id=handle.trace_id,
+        span_id=handle.span_id,
+        parent_id=handle.parent_id,
+    )
     start = time.perf_counter()
     try:
         yield handle
@@ -115,6 +252,10 @@ def span(name: str, **attrs: object):
             name=name,
             depth=handle.depth,
             duration_seconds=duration,
+            start_unix=handle.start_unix,
+            trace_id=handle.trace_id,
+            span_id=handle.span_id,
+            parent_id=handle.parent_id,
             attrs=handle.attrs,
         )
         if verbose():

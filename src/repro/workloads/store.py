@@ -114,6 +114,10 @@ def _count(key: str, n: int = 1) -> None:
     _stats[key] += n
     if obs.enabled():
         obs.counter(f"trace_store.{key}").inc(n)
+    if obs.log_path() is not None:
+        from repro.obs.events import emit_store  # deferred: layering
+
+        emit_store("trace", key, n)
 
 
 # -- columnar trace ------------------------------------------------------------

@@ -139,6 +139,47 @@ class TestDiff:
         assert by_section[("counters", "accuracy.branches")]["a"] == 10
 
 
+class TestDiffEdgeCases:
+    def test_empty_metrics_sections(self):
+        """Manifests with no metrics at all diff cleanly (not KeyError)."""
+        a, b = make_manifest(), make_manifest()
+        a.pop("metrics", None)
+        b["metrics"] = {}
+        assert diff_manifests(a, b) == []
+
+    def test_missing_phases_section(self):
+        """A phase present on one side only is reported with a None peer."""
+        registry = MetricsRegistry()
+        registry.timer("span.sweep").observe(1.0)
+        a = make_manifest(registry=registry)
+        b = make_manifest()
+        b.pop("phases", None)
+        (row,) = diff_manifests(a, b)
+        assert row["section"] == "phases" and row["key"] == "sweep"
+        assert row["a"] == "1.000s" and row["b"] is None
+
+    def test_ragged_counter_sets(self):
+        """Counters only one manifest recorded show up as one-sided rows."""
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.counter("only.in.a").inc(1)
+        reg_b.counter("only.in.b").inc(2)
+        rows = diff_manifests(make_manifest(registry=reg_a), make_manifest(registry=reg_b))
+        by_key = {row["key"]: row for row in rows}
+        assert by_key["only.in.a"]["a"] == 1 and by_key["only.in.a"]["b"] is None
+        assert by_key["only.in.b"]["b"] == 2 and by_key["only.in.b"]["a"] is None
+
+    def test_mixed_serial_parallel_manifests(self):
+        """The parallel run reports and the trace id are volatile: a serial
+        manifest and a parallel one of the same run must not diff on them."""
+        a, b = make_manifest(), make_manifest()
+        b["parallel"] = [{"label": "accuracy_sweep", "jobs": 4, "wall_seconds": 1.0}]
+        b["trace_id"] = "feed" * 4
+        a.pop("parallel", None)
+        a["trace_id"] = None
+        assert diff_manifests(a, b) == []
+        assert diff_manifests(b, a) == []
+
+
 class TestStatsCli:
     def test_render_manifest_sections(self):
         registry = MetricsRegistry()

@@ -409,3 +409,86 @@ class TestTraceCache:
         assert info["entries"] == 1
         clear_trace_cache()
         assert trace_cache_info()["entries"] == 0
+
+
+# -- distributed tracing -------------------------------------------------------
+
+
+class TestParallelTelemetry:
+    def test_worker_spans_parent_to_run_trace(self, tmp_path, monkeypatch):
+        """A --jobs 2 sweep with REPRO_LOG leaves one complete cross-process
+        span tree: no orphans, every worker shard span resolving to the
+        parent's parallel.run span, and wall times that agree."""
+        from repro.obs.aggregate import aggregate_run, build_span_tree
+        from repro.obs.events import read_run_events, validate_event
+
+        log = tmp_path / "events.jsonl"
+        monkeypatch.setenv("REPRO_LOG", str(log))
+        monkeypatch.delenv("REPRO_LOG_OWNER_PID", raising=False)
+        accuracy_sweep(**SWEEP_KWARGS, jobs=2)
+
+        events = read_run_events(log)
+        assert events and all(validate_event(e) == [] for e in events)
+        assert not list(log.parent.glob("events.jsonl.*"))  # sidecars merged
+
+        tree = build_span_tree(events)
+        assert not tree.orphans and not tree.unclosed
+        run_spans = [n for n in tree.by_id.values() if n.name == "parallel.run"]
+        assert len(run_spans) == 1
+        run = run_spans[0]
+        shard_spans = [n for n in tree.by_id.values() if n.name == "parallel.shard"]
+        assert len(shard_spans) == len(FAMILIES) * len(BUDGETS) * len(BENCHMARKS)
+        assert all(n.parent_id == run.span_id for n in shard_spans)
+        assert all(n.trace_id == run.trace_id for n in shard_spans)
+        assert all(n.pid != run.pid for n in shard_spans)
+
+        agg = aggregate_run(events)
+        # One run summary closed the trail; its counters match the tree.
+        assert agg["counters"]["shards.executed"] == len(shard_spans)
+        assert agg["counters"]["retries"] == 0
+        # The aggregate's wall covers the root span within rounding.
+        roots = [n for n in tree.roots]
+        assert agg["wall_seconds"] == pytest.approx(
+            max(r.duration for r in roots), rel=0.05
+        )
+        # Workers were seen and attributed busy time.
+        assert agg["workers"]
+        assert all(w["busy_seconds"] > 0 for w in agg["workers"].values())
+
+    def test_retry_and_checkpoint_events_recorded(self, tmp_path, monkeypatch):
+        from repro.obs.events import read_run_events
+
+        log = tmp_path / "events.jsonl"
+        monkeypatch.setenv("REPRO_LOG", str(log))
+        monkeypatch.delenv("REPRO_LOG_OWNER_PID", raising=False)
+        monkeypatch.setenv("REPRO_PARALLEL_FAIL_SHARD", "gcc__gshare")
+        monkeypatch.setenv("REPRO_PARALLEL_FAIL_ATTEMPTS", "1")
+        run_dir = tmp_path / "run"
+        accuracy_sweep(
+            **SWEEP_KWARGS, engine=None, jobs=2, run_dir=str(run_dir)
+        )
+        events = read_run_events(log)
+        retries = [e for e in events if e["event"] == "retry"]
+        assert len(retries) == 1 and "gcc__gshare" in retries[0]["shard"]
+        stored = [e for e in events if e["event"] == "checkpoint"]
+        assert {e["action"] for e in stored} == {"store"}
+        assert len(stored) == 4
+        summaries = [e for e in events if e["event"] == "run_summary"]
+        assert summaries[-1]["summary"]["retries"] == 1
+
+    def test_slow_shard_hook_injects_straggler(self, tmp_path, monkeypatch):
+        from repro.obs.aggregate import aggregate_run
+        from repro.obs.events import read_run_events
+
+        log = tmp_path / "events.jsonl"
+        monkeypatch.setenv("REPRO_LOG", str(log))
+        monkeypatch.delenv("REPRO_LOG_OWNER_PID", raising=False)
+        monkeypatch.setenv("REPRO_PARALLEL_SLOW_SHARD", "eon__bimodal")
+        monkeypatch.setenv("REPRO_PARALLEL_SLOW_SHARD_SECONDS", "0.5")
+        accuracy_sweep(**SWEEP_KWARGS, jobs=2)
+        agg = aggregate_run(read_run_events(log))
+        stragglers = agg["stragglers"]
+        assert stragglers["slowest"][0]["shard"] == "accuracy__eon__bimodal__2048"
+        assert stragglers["max_seconds"] >= 0.5
+        # The critical path ends in the slowed shard.
+        assert agg["critical_path"][-1]["shard"] == "accuracy__eon__bimodal__2048"
