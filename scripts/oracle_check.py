@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI gate: measured misprediction rates must match the closed-form oracles.
+
+Runs the full oracle grid — every registered string-matching kernel x
+{bimodal, gshare} x a pinned seed matrix — through ``measure_accuracy``
+and gates each cell at the analytic tolerance (the 3-sigma concentration
+policy of :mod:`repro.workloads.oracle`, DESIGN.md "oracle validation").
+This is the one gate that checks the pipeline against external math
+rather than against its own recorded output.
+
+Two mandatory stages:
+
+1. **clean grid** — every (kernel, family, seed) cell must land inside
+   its analytic confidence interval;
+2. **fault drill** — deliberately-biased traces (the profiles'
+   ``fault_bias`` hook) must land *outside* the fault-free interval on
+   the drill cells.  A gate that cannot trip is not a gate, so a drill
+   miss fails CI exactly like a clean-grid miss.
+
+``--report-out PATH`` writes every cell (measured, expected, deviation,
+tolerance, sigma components, verdict) as JSON; CI uploads it as the
+``oracle-report.json`` artifact.  Seeds are pinned so the whole check is
+deterministic.
+
+Usage::
+
+    python scripts/oracle_check.py [--report-out oracle-report.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+#: Pinned experiment shape — keep in lockstep with tests/test_oracle_conformance.py.
+BUDGET = 2048
+BRANCHES = 60_000
+WARMUP_FRACTION = 0.25
+SEED_MATRIX = (7, 23)
+FAULT_DRILL_CELLS = ("mp_aab_b7", "kmp_ab_u2")
+FAULT_BIAS = 0.25
+
+
+def run_cell(profile, family: str, seed: int, engine: str) -> dict:
+    from repro.harness.experiment import measure_accuracy
+    from repro.predictors import registry
+    from repro.workloads.oracle import oracle_bound
+    from repro.workloads.spec2000 import _generate_trace
+
+    trace = _generate_trace(profile, BRANCHES * 6, seed)
+    total = sum(1 for _ in trace.conditional_branches())
+    warmup = int(total * WARMUP_FRACTION)
+    scored = total - warmup
+    bound = oracle_bound(profile, family, BUDGET)
+    result = measure_accuracy(
+        registry.build(family, BUDGET), trace, warmup_branches=warmup, engine=engine
+    )
+    deviation = abs(result.misprediction_rate - bound.rate)
+    tolerance = bound.tolerance(scored)
+    return {
+        "workload": profile.name,
+        "family": family,
+        "engine": engine,
+        "seed": seed,
+        "fault_bias": profile.fault_bias,
+        "scored_branches": scored,
+        "measured_rate": result.misprediction_rate,
+        "expected_rate": bound.rate,
+        "deviation": deviation,
+        "tolerance": tolerance,
+        "sigma": bound.sigma,
+        "model_slack": bound.model_slack,
+        "within_bound": deviation <= tolerance,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report-out", default=None, help="write the per-cell JSON report here")
+    parser.add_argument(
+        "--engine", default="auto", choices=("auto", "scalar", "batch"),
+        help="measurement engine for the clean grid (default auto)",
+    )
+    args = parser.parse_args()
+
+    from repro.workloads.oracle import ORACLE_FAMILIES
+    from repro.workloads.stringmatch import stringmatch_profiles
+
+    started = time.time()
+    cells: list[dict] = []
+    failures: list[str] = []
+
+    profiles = stringmatch_profiles()
+    for name in sorted(profiles):
+        for family in ORACLE_FAMILIES:
+            for seed in SEED_MATRIX:
+                cell = run_cell(profiles[name], family, seed, args.engine)
+                cells.append(cell)
+                verdict = "ok  " if cell["within_bound"] else "FAIL"
+                print(
+                    f"{verdict} {name:14s} {family:8s} seed={seed:<3d} "
+                    f"measured={cell['measured_rate']:.4f} "
+                    f"expected={cell['expected_rate']:.4f} "
+                    f"dev={cell['deviation']:.4f} tol={cell['tolerance']:.4f}"
+                )
+                if not cell["within_bound"]:
+                    failures.append(f"clean cell out of bound: {name}/{family}/seed={seed}")
+
+    print("-- fault drill --")
+    for name in FAULT_DRILL_CELLS:
+        biased = dataclasses.replace(profiles[name], fault_bias=FAULT_BIAS)
+        for family in ORACLE_FAMILIES:
+            cell = run_cell(biased, family, SEED_MATRIX[0], "scalar")
+            cell["drill"] = True
+            cells.append(cell)
+            verdict = "trip" if not cell["within_bound"] else "MISS"
+            print(
+                f"{verdict} {name:14s} {family:8s} bias={FAULT_BIAS} "
+                f"dev={cell['deviation']:.4f} tol={cell['tolerance']:.4f}"
+            )
+            if cell["within_bound"]:
+                failures.append(f"fault drill did not trip: {name}/{family}")
+
+    report = {
+        "budget_bytes": BUDGET,
+        "branches": BRANCHES,
+        "warmup_fraction": WARMUP_FRACTION,
+        "seed_matrix": list(SEED_MATRIX),
+        "fault_bias": FAULT_BIAS,
+        "elapsed_seconds": round(time.time() - started, 2),
+        "cells": cells,
+        "failures": failures,
+    }
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.report_out}")
+
+    if failures:
+        print("oracle check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    clean = sum(1 for cell in cells if not cell.get("drill"))
+    print(f"oracle check passed: {clean} clean cells in bound, "
+          f"{len(cells) - clean} fault cells tripped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

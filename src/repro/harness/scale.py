@@ -54,17 +54,22 @@ def ipc_instructions() -> int:
 
 
 def benchmark_names() -> list[str]:
-    """Benchmarks to run: REPRO_BENCHMARKS subset or all twelve.
+    """Benchmarks to run: REPRO_BENCHMARKS subset or all twelve SPEC
+    stand-ins (the default figure grid).
 
-    Repeated names are deduplicated (order preserving): a duplicated entry
-    would otherwise silently run a benchmark twice and double-weight it in
-    every mean.
+    Subsets validate against the full workload catalog, not just the SPEC
+    set, so scenario profiles and oracle kernels are selectable the same
+    way.  Repeated names are deduplicated (order preserving): a duplicated
+    entry would otherwise silently run a benchmark twice and double-weight
+    it in every mean.
     """
+    from repro.workloads.catalog import workload_names  # deferred: layering
+
     raw = os.environ.get("REPRO_BENCHMARKS")
     if not raw:
         return spec2000_names()
     names = list(dict.fromkeys(name.strip() for name in raw.split(",") if name.strip()))
-    known = set(spec2000_names())
+    known = set(workload_names())
     unknown = [name for name in names if name not in known]
     if unknown:
         raise ConfigurationError(f"unknown benchmarks in REPRO_BENCHMARKS: {unknown}")

@@ -1,5 +1,14 @@
-"""Workload substrate: synthetic SPECint-2000 stand-in programs and traces."""
+"""Workload substrate: SPECint-2000 stand-ins, scenario profiles and
+closed-form string-matching oracle kernels, all resolved by name through
+the workload catalog."""
 
+from repro.workloads.catalog import (
+    WorkloadSpec,
+    get_workload,
+    has_workload,
+    register_workload,
+    workload_names,
+)
 from repro.workloads.cfg import (
     Call,
     Function,
@@ -40,7 +49,18 @@ from repro.workloads.store import (
     store_stats,
     trace_digest,
 )
-from repro.workloads.synth import PredicateMix, WorkloadProfile, build_program
+from repro.workloads.stringmatch import (
+    MatcherPredicate,
+    StringMatchProfile,
+    build_stringmatch_program,
+    stringmatch_profiles,
+)
+from repro.workloads.synth import (
+    PredicateMix,
+    WorkloadProfile,
+    build_program,
+    scenario_profiles,
+)
 from repro.workloads.trace import Block, BranchKind, Trace
 
 __all__ = [
@@ -56,6 +76,7 @@ __all__ = [
     "INSTRUCTIONS_PER_BRANCH",
     "If",
     "Loop",
+    "MatcherPredicate",
     "MemOp",
     "MemoryConfig",
     "PatternPredicate",
@@ -65,24 +86,33 @@ __all__ = [
     "ProgramExecutor",
     "ProgramState",
     "StraightCode",
+    "StringMatchProfile",
     "Trace",
     "TripSampler",
     "WorkloadProfile",
+    "WorkloadSpec",
     "active_store",
     "build_program",
+    "build_stringmatch_program",
     "executor_run_count",
     "get_profile",
+    "get_workload",
+    "has_workload",
     "layout_program",
     "load_trace",
     "read_branch_trace",
+    "register_workload",
     "reset_executor_runs",
     "reset_store_stats",
+    "scenario_profiles",
     "spec2000_names",
     "spec2000_profiles",
     "save_trace",
     "spec2000_trace",
     "store_path",
     "store_stats",
+    "stringmatch_profiles",
     "trace_digest",
     "warm_trace_store",
+    "workload_names",
 ]

@@ -1,0 +1,530 @@
+"""Closed-form misprediction oracles for the string-matching workloads.
+
+The comparison branch of Morris-Pratt/KMP over a memoryless random text is
+analytically tractable (Nicaud, Pivoteau & Vialette): the matcher induces a
+small finite Markov chain whose per-state branch-outcome distribution is
+known exactly, so the *expected* misprediction rate of a predictor — not a
+golden number measured once, but a formula — can be computed and compared
+against what the harness measures.  This module builds that chain and
+derives, per (pattern, source, predictor-class) cell:
+
+* the exact stationary misprediction rate, and
+* a concentration scale (asymptotic per-branch sigma plus deterministic
+  model slack) that turns the rate into a confidence interval for a
+  measured run of ``n`` scored branches.
+
+The matcher chain
+-----------------
+States are ``F_j`` ("fresh": about to compare a newly drawn character with
+``pattern[j]``) and ``S_(j,c)`` ("stale": a previous mismatch retained
+character ``c``, now compared with ``pattern[j]``).  From ``F_j`` a
+character ``c`` is drawn from the source: a match advances to ``F_{j+1}``
+(wrapping to the restart state on a full match), a mismatch follows the
+failure link — Morris-Pratt's border or KMP's strict border — either
+consuming the character (link ``-1``, back to ``F_0``) or retaining it
+(``S_(link,c)``).  Stale states are deterministic: the retained character
+either matches ``pattern[j]`` or it does not.  The executed branch is
+*taken on mismatch* (the program's ``If`` takes the then-path on a match,
+and the ISA branch jumps on the predicate failing), so each transition
+carries an exact outcome label, and the single conditional site means the
+predictor sees exactly this labelled chain and nothing else.
+
+Predictor models
+----------------
+* ``counter_rate_iid`` — a ``b``-bit saturating counter fed i.i.d.
+  Bernoulli(q) taken-outcomes is a birth-death chain with stationary
+  weights proportional to ``(q/(1-q))^i``; the closed-form stationary
+  misprediction rate follows directly.
+* bimodal — one conditional PC means one counter, so the joint
+  (matcher-state x counter-value) chain is exact and tiny.  Its stationary
+  distribution gives the exact rate; the asymptotic (Markov-CLT) variance
+  comes from the chain's Poisson equation, not an i.i.d. approximation.
+* gshare — one conditional PC makes ``index = fold(pc) XOR history`` a
+  *bijection* from h-bit global-history windows to table entries.  An
+  exact window-profile DP pushes the stationary state distribution h
+  steps forward, recording outcome labels, to obtain the exact joint
+  distribution P(state, last-h-window).  Whenever every window's support
+  agrees on the taken probability (which the DP verifies outcome-window
+  by outcome-window), the per-window outcome stream is i.i.d. and the
+  rate decomposes as ``sum_w P(w) * counter_rate_iid(q_w)``.  Windows
+  whose support mixes different taken probabilities contribute their
+  full mass to the bound's ``model_slack`` — the oracle is honest about
+  the (typically ~2^-h) mass it cannot decompose.
+* ``bayes_context_rate`` — the Bayes-optimal rate of *any* predictor keyed
+  on the last h outcomes, ``sum_w P(w) * min(q_w, 1-q_w)``.  Conditioning
+  on a longer window refines the partition, so this is monotone
+  non-increasing in h: the property the Hypothesis suite pins.
+
+Tolerance policy (see DESIGN.md, "oracle validation"): a measurement of
+``n`` scored branches is accepted within ``3 * sigma / sqrt(n) +
+model_slack + training / n``.  ``sigma`` is the chain's asymptotic
+per-branch deviation scale times a documented inflation factor (the CLT is
+asymptotic and, for gshare, per-context counters train on overlapping
+prefixes); the training term charges each reachable context its *exact*
+expected initialization excursion (:func:`counter_training_excess`),
+capped by the probability the context is visited at all.  The oracle
+always models the *fault-free* matcher — a profile
+with ``fault_bias > 0`` emits a trace the oracle deliberately does not
+follow, which is exactly how the conformance gate's fault drill works.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.stringmatch import (
+    StringMatchProfile,
+    failure_table,
+    pattern_symbols,
+    restart_state,
+)
+
+#: CLT inflation factors: the analytic sigma is asymptotic; finite runs see
+#: initialization transients (bimodal) and cross-context training coupling
+#: (gshare).  Factors chosen so a clean 3-sigma gate has comfortable margin
+#: while a percent-level bias still trips it by an order of magnitude.
+KAPPA_BIMODAL = 1.5
+KAPPA_GSHARE = 5.0
+
+#: Floor on the per-branch sigma scale so near-deterministic cells keep a
+#: nonzero (but still percent-tight at n ~ 10^4) acceptance band.
+SIGMA_FLOOR = 0.01
+
+#: Refuse window-profile DPs past this many (state, window) atoms.
+WINDOW_DP_CAP = 250_000
+
+#: Two per-state taken probabilities within this are "the same context".
+_Q_RESOLUTION_EPS = 1e-9
+
+
+class OracleUnsupportedError(ConfigurationError):
+    """The requested cell has no closed form this oracle can certify."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One matcher transition: probability, branch outcome, target state."""
+
+    prob: float
+    taken: bool  # True = mismatch (the If's else-path)
+    target: int
+
+
+@dataclass(frozen=True)
+class MatcherChain:
+    """The labelled matcher Markov chain plus its stationary solution."""
+
+    labels: tuple[str, ...]
+    edges: tuple[tuple[Edge, ...], ...]
+    pi: np.ndarray = field(compare=False)
+    taken_prob: np.ndarray = field(compare=False)  # P(taken | state)
+
+    @property
+    def size(self) -> int:
+        return len(self.labels)
+
+
+@dataclass(frozen=True)
+class OracleBound:
+    """An analytic expectation with its concentration scales.
+
+    ``rate`` is the exact stationary expectation; ``sigma`` the inflated
+    asymptotic per-branch deviation scale; ``model_slack`` a deterministic
+    additive error the model admits (mass it could not decompose);
+    ``training`` charges counter initialization transients: per context an
+    (excess, mass) pair, where excess is the exact expected number of
+    extra mispredictions a counter starting at the repo's init value pays
+    relative to stationary (:func:`counter_training_excess`) and mass the
+    context's stationary probability.  A context visited less than once in
+    expectation cannot pay a full excursion, hence the ``min(1, n * mass)``
+    visit cap in :meth:`tolerance`.
+    """
+
+    rate: float
+    sigma: float
+    model_slack: float = 0.0
+    training: tuple[tuple[float, float], ...] = ()  # (excess, mass) pairs
+
+    def tolerance(self, scored: int) -> float:
+        """Acceptance half-width for a measurement of ``scored`` branches."""
+        if scored <= 0:
+            raise ConfigurationError(f"scored branch count must be positive, got {scored}")
+        train = sum(
+            excess * min(1.0, scored * mass) for excess, mass in self.training
+        )
+        return (
+            3.0 * self.sigma / math.sqrt(scored)
+            + self.model_slack
+            + train / scored
+        )
+
+    def accepts(self, measured_rate: float, scored: int) -> bool:
+        """True when ``measured_rate`` is within tolerance of the formula."""
+        return abs(measured_rate - self.rate) <= self.tolerance(scored)
+
+
+def _solve_stationary(P: np.ndarray) -> np.ndarray:
+    """Stationary distribution of a finite chain (least squares on
+    ``pi P = pi`` with the normalization row appended — robust to the
+    rank deficiency of ``P - I``)."""
+    n = P.shape[0]
+    A = np.vstack([P.T - np.eye(n), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+@lru_cache(maxsize=256)
+def build_matcher_chain(profile: StringMatchProfile) -> MatcherChain:
+    """The exact MP/KMP comparison chain for ``profile`` (fault-free model).
+
+    Breadth-first from ``F_0`` so only reachable states appear; stale
+    states are keyed by (position, retained character).
+    """
+    symbols = pattern_symbols(profile.pattern)
+    fail = failure_table(profile.pattern, profile.algorithm)
+    restart = restart_state(profile.pattern)
+    source = profile.source_probabilities()
+    m = len(symbols)
+
+    index: dict[tuple, int] = {}
+    labels: list[str] = []
+    edge_lists: list[list[Edge]] = []
+    order: list[tuple] = []
+
+    def intern(key: tuple) -> int:
+        if key not in index:
+            index[key] = len(labels)
+            labels.append(
+                f"F{key[1]}" if key[0] == "F" else f"S{key[1]}·{chr(ord('a') + key[2])}"
+            )
+            edge_lists.append([])
+            order.append(key)
+        return index[key]
+
+    intern(("F", 0))
+    cursor = 0
+    while cursor < len(order):
+        key = order[cursor]
+        state = index[key]
+        cursor += 1
+        if key[0] == "F":
+            j = key[1]
+            for char, p_char in enumerate(source):
+                if p_char <= 0.0:
+                    continue
+                if char == symbols[j]:
+                    nxt = j + 1
+                    target = intern(("F", restart if nxt == m else nxt))
+                    edge_lists[state].append(Edge(p_char, False, target))
+                else:
+                    link = fail[j]
+                    if link < 0:
+                        target = intern(("F", 0))
+                    else:
+                        target = intern(("S", link, char))
+                    edge_lists[state].append(Edge(p_char, True, target))
+        else:
+            _, j, char = key
+            if char == symbols[j]:
+                nxt = j + 1
+                target = intern(("F", restart if nxt == m else nxt))
+                edge_lists[state].append(Edge(1.0, False, target))
+            else:
+                link = fail[j]
+                if link < 0:
+                    target = intern(("F", 0))
+                else:
+                    target = intern(("S", link, char))
+                edge_lists[state].append(Edge(1.0, True, target))
+
+    n = len(labels)
+    P = np.zeros((n, n))
+    q = np.zeros(n)
+    for s, edges in enumerate(edge_lists):
+        for e in edges:
+            P[s, e.target] += e.prob
+            if e.taken:
+                q[s] += e.prob
+    pi = _solve_stationary(P)
+    return MatcherChain(
+        labels=tuple(labels),
+        edges=tuple(tuple(es) for es in edge_lists),
+        pi=pi,
+        taken_prob=q,
+    )
+
+
+def _chain_rate_and_sigma(
+    edges: tuple[tuple[Edge, ...], ...] | list[list[Edge]],
+    cost: dict[tuple[int, int], float],
+) -> tuple[float, float]:
+    """Exact stationary mean and asymptotic per-step sigma of an additive
+    edge functional on a finite ergodic chain.
+
+    ``cost`` maps (state, edge-ordinal) to the functional's value on that
+    transition.  The mean is ``pi . cbar``; the variance solves the chain's
+    Poisson equation ``(I - P) g = cbar - mu`` and evaluates the martingale
+    increments ``c_e + g(target) - g(source) - mu`` under the stationary
+    edge measure (the standard Markov-CLT form).
+    """
+    n = len(edges)
+    P = np.zeros((n, n))
+    cbar = np.zeros(n)
+    for s, es in enumerate(edges):
+        for i, e in enumerate(es):
+            P[s, e.target] += e.prob
+            cbar[s] += e.prob * cost.get((s, i), 0.0)
+    pi = _solve_stationary(P)
+    mu = float(pi @ cbar)
+    A = np.vstack([np.eye(n) - P, np.ones((1, n))])
+    b = np.concatenate([cbar - mu, [0.0]])
+    g, *_ = np.linalg.lstsq(A, b, rcond=None)
+    var = 0.0
+    for s, es in enumerate(edges):
+        for i, e in enumerate(es):
+            d = cost.get((s, i), 0.0) + g[e.target] - g[s] - mu
+            var += pi[s] * e.prob * d * d
+    return mu, math.sqrt(max(var, 0.0))
+
+
+def counter_rate_iid(q: float, bits: int = 2) -> float:
+    """Stationary misprediction rate of a ``bits``-bit saturating counter
+    fed i.i.d. Bernoulli(q) taken-outcomes (predict taken at value >=
+    2^(bits-1); the repo's :class:`CounterTable` semantics).
+
+    Birth-death stationary weights are ``r^i`` with ``r = q/(1-q)``; a
+    state below threshold mispredicts with probability ``q`` (it predicts
+    not-taken), one at or above threshold with ``1 - q``.
+    """
+    if bits < 1:
+        raise ConfigurationError(f"counter width must be >= 1 bit, got {bits}")
+    if q <= 0.0 or q >= 1.0:
+        return 0.0  # deterministic outcome: the counter saturates and is perfect
+    n = 1 << bits
+    threshold = n >> 1
+    r = q / (1.0 - q)
+    weights = [r**i for i in range(n)]
+    total = sum(weights)
+    hit = sum(w * ((1.0 - q) if i >= threshold else q) for i, w in enumerate(weights))
+    return hit / total
+
+
+def counter_training_excess(q: float, bits: int = 2) -> float:
+    """Exact expected excess mispredictions of a ``bits``-bit counter that
+    starts at the repo's init value (threshold - 1, weakly not-taken)
+    instead of its stationary law, under i.i.d. Bernoulli(q) outcomes.
+
+    This is the bias function of the counter chain's Poisson equation
+    evaluated at the init state: ``g(init) - pi . g``.  It is 0 when the
+    init state already predicts the favoured direction (q < 1/2) and at
+    most ~1-2 otherwise — far tighter than charging a flat per-context
+    constant.
+    """
+    if q <= 0.0:
+        return 0.0
+    n = 1 << bits
+    threshold = n >> 1
+    init = threshold - 1
+    if q >= 1.0:
+        return float(threshold - init)  # mispredicts until it crosses threshold
+    P = np.zeros((n, n))
+    for v in range(n):
+        P[v, min(n - 1, v + 1)] += q
+        P[v, max(0, v - 1)] += 1.0 - q
+    cbar = np.array([q if v < threshold else 1.0 - q for v in range(n)])
+    pi = _solve_stationary(P)
+    mu = float(pi @ cbar)
+    A = np.vstack([np.eye(n) - P, np.ones((1, n))])
+    b = np.concatenate([cbar - mu, [0.0]])
+    g, *_ = np.linalg.lstsq(A, b, rcond=None)
+    return float(max(g[init] - pi @ g, 0.0))
+
+
+def taken_rate_oracle(profile: StringMatchProfile) -> OracleBound:
+    """Exact stationary taken (mismatch) rate of the comparison branch,
+    with its Markov-CLT sigma — the trace-generator invariant bound."""
+    chain = build_matcher_chain(profile)
+    cost = {
+        (s, i): 1.0
+        for s, es in enumerate(chain.edges)
+        for i, e in enumerate(es)
+        if e.taken
+    }
+    mu, sigma = _chain_rate_and_sigma(chain.edges, cost)
+    return OracleBound(rate=mu, sigma=max(sigma, SIGMA_FLOOR) * KAPPA_BIMODAL)
+
+
+@lru_cache(maxsize=256)
+def bimodal_oracle(profile: StringMatchProfile, bits: int = 2) -> OracleBound:
+    """Exact bimodal rate: the workload's single conditional PC uses one
+    counter, so the joint (matcher x counter) chain is exact."""
+    chain = build_matcher_chain(profile)
+    n_values = 1 << bits
+    threshold = n_values >> 1
+    joint_edges: list[list[Edge]] = []
+    cost: dict[tuple[int, int], float] = {}
+
+    def joint_index(state: int, value: int) -> int:
+        return state * n_values + value
+
+    for s in range(chain.size):
+        for v in range(n_values):
+            es: list[Edge] = []
+            for e in chain.edges[s]:
+                predict_taken = v >= threshold
+                mispredict = predict_taken != e.taken
+                v2 = min(n_values - 1, v + 1) if e.taken else max(0, v - 1)
+                if mispredict:
+                    cost[(joint_index(s, v), len(es))] = 1.0
+                es.append(Edge(e.prob, e.taken, joint_index(e.target, v2)))
+            joint_edges.append(es)
+    mu, sigma = _chain_rate_and_sigma(joint_edges, cost)
+    return OracleBound(
+        rate=mu,
+        sigma=max(sigma, SIGMA_FLOOR) * KAPPA_BIMODAL,
+        training=((float(n_values), 1.0),),  # one counter's init excursion
+    )
+
+
+@lru_cache(maxsize=256)
+def window_profile(
+    chain: MatcherChain, history_length: int, cap: int = WINDOW_DP_CAP
+) -> dict[tuple[int, int], float]:
+    """Exact stationary joint distribution of (state, last-h-outcome window).
+
+    Starting from the stationary state law and pushing forward exactly
+    ``h`` steps while recording outcome labels yields the stationary joint
+    at the end of the push — stationarity makes the unrolled DP exact, no
+    fixpoint needed.  Windows are ints (newest outcome in bit 0's
+    opposite end — the encoding is private; only window *identity*
+    matters, since the gshare index map is a bijection on windows).
+    """
+    if history_length < 0:
+        raise ConfigurationError(f"history length must be >= 0, got {history_length}")
+    mask = (1 << history_length) - 1 if history_length else 0
+    level: dict[tuple[int, int], float] = {
+        (s, 0): float(p) for s, p in enumerate(chain.pi) if p > 0.0
+    }
+    for _ in range(history_length):
+        nxt: dict[tuple[int, int], float] = {}
+        for (s, window), weight in level.items():
+            for e in chain.edges[s]:
+                key = (e.target, ((window << 1) | int(e.taken)) & mask)
+                nxt[key] = nxt.get(key, 0.0) + weight * e.prob
+        if len(nxt) > cap:
+            raise OracleUnsupportedError(
+                f"window-profile DP exceeded {cap} atoms at h={history_length}; "
+                "this cell has no certified gshare closed form"
+            )
+        level = nxt
+    return level
+
+
+@lru_cache(maxsize=256)
+def gshare_oracle(profile: StringMatchProfile, history_length: int) -> OracleBound:
+    """Gshare rate via the window-resolution decomposition.
+
+    Valid because the workload has one conditional PC: h-bit histories map
+    bijectively to table entries, so each entry's counter sees exactly the
+    outcomes that follow one window.  For every window whose support
+    states agree on P(taken) those outcomes are i.i.d. and the entry
+    behaves as a closed-form counter; disagreeing windows (mass typically
+    ~2^-h) are charged to ``model_slack`` in full.
+    """
+    chain = build_matcher_chain(profile)
+    joint = window_profile(chain, history_length)
+    by_window: dict[int, list[tuple[int, float]]] = {}
+    for (s, window), weight in joint.items():
+        by_window.setdefault(window, []).append((s, weight))
+
+    rate = 0.0
+    slack = 0.0
+    training: list[tuple[float, float]] = []
+    excess_cache: dict[float, float] = {}
+    for support in by_window.values():
+        qs = [float(chain.taken_prob[s]) for s, _ in support]
+        mass = sum(weight for _, weight in support)
+        if max(qs) - min(qs) <= _Q_RESOLUTION_EPS:
+            rate += mass * counter_rate_iid(qs[0], bits=2)
+        else:
+            # Mixed support: approximate by the per-state decomposition and
+            # admit the whole window's mass as model error.
+            rate += sum(
+                weight * counter_rate_iid(float(chain.taken_prob[s]), bits=2)
+                for s, weight in support
+            )
+            slack += mass
+        q_train = max(qs)  # worst-case init excursion over the support
+        if q_train not in excess_cache:
+            excess_cache[q_train] = counter_training_excess(q_train, bits=2)
+        if excess_cache[q_train] > 0.0:
+            training.append((excess_cache[q_train], mass))
+    sigma = max(math.sqrt(rate * (1.0 - rate)), SIGMA_FLOOR) * KAPPA_GSHARE
+    return OracleBound(
+        rate=rate,
+        sigma=sigma,
+        model_slack=slack,
+        training=tuple(training),
+    )
+
+
+def bayes_context_rate(profile: StringMatchProfile, history_length: int) -> float:
+    """Bayes-optimal misprediction rate over the last ``history_length``
+    outcomes: ``sum_w P(w) min(q_w, 1-q_w)``.  Monotone non-increasing in
+    the history length (longer windows refine the partition) — the
+    property the Hypothesis suite checks on random patterns."""
+    chain = build_matcher_chain(profile)
+    joint = window_profile(chain, history_length)
+    by_window: dict[int, tuple[float, float]] = {}
+    for (s, window), weight in joint.items():
+        mass, taken = by_window.get(window, (0.0, 0.0))
+        by_window[window] = (
+            mass + weight,
+            taken + weight * float(chain.taken_prob[s]),
+        )
+    return sum(
+        mass * min(taken / mass, 1.0 - taken / mass)
+        for mass, taken in by_window.values()
+        if mass > 0.0
+    )
+
+
+#: Families this oracle certifies; registry families outside this set have
+#: no closed form here and :func:`oracle_bound` refuses them.
+ORACLE_FAMILIES = ("bimodal", "gshare")
+
+
+def oracle_bound(
+    profile: StringMatchProfile, family: str, budget_bytes: int
+) -> OracleBound:
+    """The analytic bound for ``family`` sized at ``budget_bytes``, using
+    the same sizing rules the sweep harness applies."""
+    if profile.fault_bias:
+        # The oracle models the fault-free matcher on purpose: the fault
+        # drill asserts a biased trace falls OUTSIDE this bound.
+        profile = StringMatchProfile(
+            **{**_profile_fields(profile), "fault_bias": 0.0}
+        )
+    if family == "bimodal":
+        return bimodal_oracle(profile)
+    if family == "gshare":
+        from repro.predictors.sizing import size_gshare
+
+        return gshare_oracle(profile, size_gshare(budget_bytes).history_length)
+    raise OracleUnsupportedError(
+        f"family {family!r} has no closed-form oracle (supported: {ORACLE_FAMILIES})"
+    )
+
+
+def _profile_fields(profile: StringMatchProfile) -> dict:
+    from dataclasses import fields as dc_fields
+
+    return {f.name: getattr(profile, f.name) for f in dc_fields(profile)}

@@ -234,21 +234,26 @@ def spec2000_names() -> list[str]:
     ]
 
 
-def get_profile(name: str) -> WorkloadProfile:
-    """Profile for benchmark ``name`` (ConfigurationError if unknown)."""
-    profiles = spec2000_profiles()
-    try:
-        return profiles[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown benchmark {name!r}; known: {', '.join(spec2000_names())}"
-        ) from None
+def get_profile(name: str):
+    """Profile for workload ``name`` (ConfigurationError if unknown).
+
+    Resolution goes through the workload catalog, so any registered
+    workload — SPEC stand-in, scenario profile, string-matching oracle
+    kernel, or an externally registered one — is addressable by every
+    harness consumer that funnels through this call (sweeps, the parallel
+    executor's workers, trace/result stores, figure configs).
+    """
+    from repro.workloads.catalog import get_workload
+
+    return get_workload(name).profile
 
 
 #: Default capacity of the per-process trace cache (entries).
 TRACE_CACHE_CAPACITY = 32
 
-_trace_cache: OrderedDict[tuple[str, int, int], Trace | ColumnarTrace] = OrderedDict()
+_trace_cache: OrderedDict[
+    tuple[str, int, int, str | None], Trace | ColumnarTrace
+] = OrderedDict()
 _trace_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
 
 _executor_runs = 0
@@ -311,28 +316,53 @@ def clear_trace_cache() -> None:
         _trace_cache_stats[key] = 0
 
 
-def _generate_trace(profile: WorkloadProfile, instructions: int, seed: int) -> Trace:
-    """Synthesize and execute the benchmark program — the expensive path
-    every cache layer exists to avoid."""
+def _builder_for(profile):
+    """The program builder for ``profile``: its catalog entry's builder
+    when the profile is the registered one, else a dispatch on profile
+    type (covers ad-hoc profiles such as fault-biased oracle variants)."""
+    from repro.workloads.catalog import get_workload, has_workload
+    from repro.workloads.stringmatch import (
+        StringMatchProfile,
+        build_stringmatch_program,
+    )
+
+    if has_workload(profile.name):
+        spec = get_workload(profile.name)
+        if spec.profile == profile:
+            return spec.build
+    if isinstance(profile, StringMatchProfile):
+        return build_stringmatch_program
+    if isinstance(profile, WorkloadProfile):
+        return build_program
+    raise ConfigurationError(
+        f"no program builder for profile type {type(profile).__name__}; "
+        "register it in the workload catalog"
+    )
+
+
+def _generate_trace(profile, instructions: int, seed: int) -> Trace:
+    """Build and execute the workload program — the expensive path every
+    cache layer exists to avoid."""
     global _executor_runs
     _executor_runs += 1
     if obs.enabled():
         obs.counter("workloads.executor_runs").inc()
-    program = build_program(profile)
+    program = _builder_for(profile)(profile)
     executor = ProgramExecutor(
         program, seed=seed, memory=profile.memory, hidden_bits=profile.hidden_bits
     )
     return executor.run(instructions)
 
 
-def _resolve_trace(name: str, instructions: int, seed: int) -> Trace | ColumnarTrace:
+def _resolve_trace(
+    name: str, instructions: int, seed: int, store
+) -> Trace | ColumnarTrace:
     """Produce one trace via the on-disk store when enabled, else generate.
 
     With a store active both the cold (generate+persist) and warm (load)
     paths return a :class:`ColumnarTrace`, so downstream results are
     byte-identical regardless of which path ran."""
     profile = get_profile(name)
-    store = active_store()
     if store is not None:
         return store.get_or_generate(
             profile,
@@ -344,16 +374,23 @@ def _resolve_trace(name: str, instructions: int, seed: int) -> Trace | ColumnarT
 
 
 def _cached_trace(name: str, instructions: int, seed: int) -> Trace | ColumnarTrace:
-    """LRU-cached trace lookup, keyed by (benchmark, length, seed); the
-    on-disk trace store (when enabled) sits under this layer."""
-    key = (name, instructions, seed)
+    """LRU-cached trace lookup; the on-disk trace store (when enabled)
+    sits under this layer.
+
+    The key includes the active store root (or ``None``): the store
+    changes the trace *representation* (``ColumnarTrace`` vs ``Trace``
+    blocks), so toggling ``REPRO_TRACE_STORE`` mid-process must never
+    serve an entry cached under the other configuration — generator-backed
+    oracle workloads rely on this to warm-start byte-identically."""
+    store = active_store()
+    key = (name, instructions, seed, None if store is None else str(store.root))
     cached = _trace_cache.get(key)
     if cached is not None:
         _trace_cache_stats["hits"] += 1
         _trace_cache.move_to_end(key)
         return cached
     _trace_cache_stats["misses"] += 1
-    trace = _resolve_trace(name, instructions, seed)
+    trace = _resolve_trace(name, instructions, seed, store)
     _trace_cache[key] = trace
     capacity = trace_cache_capacity()
     while len(_trace_cache) > capacity:

@@ -275,3 +275,72 @@ def test_serial_and_parallel_sweeps_agree_for_every_family():
     ] + [
         ("eon", family, CONFORMANCE_BUDGET) for family in ALL_FAMILIES
     ]
+
+
+#: The scenario-diverse workload axis (interpreter-like, server-like,
+#: adversarial period-mixing).  Pinned to the catalog's "scenario" kind so
+#: a newly registered scenario profile auto-enrolls in these rows exactly
+#: like a newly registered predictor family enrolls in the rows above.
+def scenario_benchmarks() -> list[str]:
+    from repro.workloads.catalog import workload_names
+
+    return workload_names(kind="scenario")
+
+
+def test_scenario_axis_is_registered():
+    """The three shipped scenario profiles resolve through the catalog —
+    and through ``get_profile``, which every harness consumer funnels
+    through — without any harness edits."""
+    from repro.workloads import get_profile
+
+    names = scenario_benchmarks()
+    assert names == ["interp", "server", "adversarial"]
+    for name in names:
+        assert get_profile(name).name == name
+
+
+@pytest.mark.parametrize("workload", ["interp", "server", "adversarial"])
+class TestScenarioProfileConformance:
+    """Scenario-workload rows: every registered family must produce
+    engine-identical counts on every scenario profile, exactly as it must
+    on the SPEC stand-ins.  The family list is ``registry.family_names()``
+    so future families auto-enroll; the benchmark list is the catalog's
+    scenario kind so future profiles do too."""
+
+    def test_all_families_scalar_equals_batch(self, workload):
+        from repro.harness.experiment import measure_accuracy
+        from repro.workloads import spec2000_trace
+
+        trace = spec2000_trace(workload, instructions=20_000, seed=3)
+        for family in ALL_FAMILIES:
+            scalar = measure_accuracy(
+                build_family(family, CONFORMANCE_BUDGET), trace, engine="scalar"
+            )
+            assert scalar.branches > 0, family
+            if not registry.get_spec(family).batch_kernel:
+                continue
+            batch = measure_accuracy(
+                build_family(family, CONFORMANCE_BUDGET), trace, engine="batch"
+            )
+            assert (scalar.branches, scalar.mispredictions) == (
+                batch.branches,
+                batch.mispredictions,
+            ), family
+
+
+def test_serial_and_parallel_sweeps_agree_on_scenario_profiles():
+    """Serial/parallel byte-identity for the scenario axis across every
+    registered family, mirroring the SPEC-benchmark check above."""
+    benchmarks = scenario_benchmarks()
+    kwargs = dict(
+        families=ALL_FAMILIES,
+        budgets=[CONFORMANCE_BUDGET],
+        benchmarks=benchmarks,
+        instructions=12_000,
+    )
+    serial = accuracy_sweep(**kwargs, jobs=1)
+    parallel = accuracy_sweep(**kwargs, jobs=2)
+    assert serial == parallel
+    assert [(cell.benchmark, cell.family) for cell in serial] == [
+        (benchmark, family) for benchmark in benchmarks for family in ALL_FAMILIES
+    ]

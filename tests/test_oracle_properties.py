@@ -1,0 +1,155 @@
+"""Property tests for the string-matching oracle and its workload generator.
+
+Two families of invariants, checked across *random* patterns, alphabets
+and sources rather than the handful of registered kernels:
+
+* oracle math — failure-table well-formedness, closed-form counter-rate
+  bounds, and the information-monotonicity of the Bayes context rate
+  (conditioning on a longer outcome window can never hurt the optimal
+  predictor: the ISSUE's "longer history => no-worse expected rate").
+* trace generation — every randomly profiled matcher emits a valid trace
+  with exactly one static conditional site, a sane branch density, and a
+  taken rate inside the matcher chain's own analytic confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.oracle import (
+    bayes_context_rate,
+    build_matcher_chain,
+    counter_rate_iid,
+    counter_training_excess,
+    taken_rate_oracle,
+)
+from repro.workloads.spec2000 import _generate_trace
+from repro.workloads.stringmatch import (
+    StringMatchProfile,
+    border_table,
+    failure_table,
+    pattern_symbols,
+)
+
+#: Small-but-diverse pattern space: lengths 1..6 over alphabets of 2-3
+#: letters keeps every chain tiny while covering periodic, self-overlapping
+#: and border-free shapes.
+patterns = st.text(alphabet="abc", min_size=1, max_size=6)
+algorithms = st.sampled_from(["mp", "kmp"])
+
+
+def profile_for(pattern: str, algorithm: str, bernoulli_p: float | None) -> StringMatchProfile:
+    """A profile over the smallest alphabet covering ``pattern``."""
+    alphabet = max(3 if "c" in pattern else 2, 2)
+    if bernoulli_p is not None and alphabet == 2:
+        return StringMatchProfile(
+            name="prop",
+            pattern=pattern,
+            algorithm=algorithm,
+            source_kind="bernoulli",
+            bernoulli_p=bernoulli_p,
+        )
+    return StringMatchProfile(
+        name="prop", pattern=pattern, algorithm=algorithm, alphabet=alphabet
+    )
+
+
+@given(pattern=patterns)
+def test_border_table_is_well_formed(pattern):
+    border = border_table(pattern)
+    assert border[0] == 0 and border[1] == 0
+    symbols = pattern_symbols(pattern)
+    for j in range(1, len(symbols) + 1):
+        k = border[j]
+        assert 0 <= k < j
+        assert symbols[:k] == symbols[j - k : j]  # it really is a border
+
+
+@given(pattern=patterns, algorithm=algorithms)
+def test_failure_table_is_well_formed(pattern, algorithm):
+    symbols = pattern_symbols(pattern)
+    fail = failure_table(pattern, algorithm)
+    assert len(fail) == len(symbols)
+    assert fail[0] == -1
+    for j, link in enumerate(fail):
+        assert -1 <= link < j or j == 0
+        if algorithm == "kmp" and link >= 0:
+            # Strictness: the retried comparison can never repeat the one
+            # that just failed.
+            assert symbols[link] != symbols[j]
+
+
+@given(q=st.floats(min_value=0.0, max_value=1.0), bits=st.sampled_from([1, 2, 3]))
+def test_counter_rate_bounds(q, bits):
+    rate = counter_rate_iid(q, bits)
+    assert 0.0 <= rate <= 0.5 + 1e-12
+    # No predictor beats the Bayes rate of the i.i.d. source.
+    assert rate >= min(q, 1.0 - q) - 1e-12
+    # Symmetric sources are direction-agnostic.
+    assert rate == pytest.approx(counter_rate_iid(1.0 - q, bits), abs=1e-12)
+
+
+@given(q=st.floats(min_value=0.0, max_value=1.0))
+def test_training_excess_is_small_and_nonnegative(q):
+    excess = counter_training_excess(q, bits=2)
+    assert 0.0 <= excess <= 4.0
+    if q <= 0.5:
+        # Init (weakly not-taken) already favours the likely direction.
+        assert excess <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=patterns,
+    algorithm=algorithms,
+    bernoulli_p=st.one_of(st.none(), st.floats(min_value=0.1, max_value=0.9)),
+)
+def test_bayes_context_rate_monotone_in_history(pattern, algorithm, bernoulli_p):
+    """Longer outcome windows refine the context partition, so the optimal
+    context-keyed rate is monotone non-increasing in the history length —
+    on periodic and aperiodic patterns alike."""
+    profile = profile_for(pattern, algorithm, bernoulli_p)
+    rates = [bayes_context_rate(profile, h) for h in range(6)]
+    for shorter, longer in zip(rates, rates[1:]):
+        assert longer <= shorter + 1e-9
+    # And it is a genuine misprediction rate throughout.
+    for rate in rates:
+        assert 0.0 <= rate <= 0.5 + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pattern=patterns,
+    algorithm=algorithms,
+    bernoulli_p=st.one_of(st.none(), st.floats(min_value=0.15, max_value=0.85)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_generated_traces_satisfy_matcher_invariants(pattern, algorithm, bernoulli_p, seed):
+    """Any randomly profiled matcher emits a structurally sound trace whose
+    taken rate lands inside its own chain's analytic confidence interval."""
+    profile = profile_for(pattern, algorithm, bernoulli_p)
+    instructions = 12_000
+    trace = _generate_trace(profile, instructions, seed)
+    trace.validate()
+    branches = [(pc, taken) for pc, taken in trace.conditional_branches()]
+    # Exactly one static conditional site: the comparison branch.
+    assert len({pc for pc, _ in branches}) == 1
+    # One comparison costs 6-7 instructions; the density must match.
+    assert instructions // 10 <= len(branches) <= instructions // 4
+    measured = sum(taken for _, taken in branches) / len(branches)
+    bound = taken_rate_oracle(profile)
+    assert abs(measured - bound.rate) <= bound.tolerance(len(branches))
+
+
+@given(pattern=patterns, algorithm=algorithms)
+def test_chain_is_a_probability_model(pattern, algorithm):
+    """Stationary weights and per-state outcome laws are proper."""
+    chain = build_matcher_chain(profile_for(pattern, algorithm, None))
+    assert math.isclose(float(chain.pi.sum()), 1.0, abs_tol=1e-9)
+    for s, edges in enumerate(chain.edges):
+        assert math.isclose(sum(e.prob for e in edges), 1.0, abs_tol=1e-9)
+        assert 0.0 <= float(chain.taken_prob[s]) <= 1.0
