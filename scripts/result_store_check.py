@@ -154,16 +154,19 @@ def main(argv: list[str] | None = None) -> int:
         proc = run_cli([*config_args, *store_args, "--dry-run"])
         if proc.returncode != 0:
             fail("dry run failed", proc)
+        # Classification-table columns: target mode cells completed
+        # results failed partial missing inferred based-on.  A pure-store
+        # hit classifies as completed; everything else must be zero.
         rows = {}
         for line in proc.stdout.splitlines():
             parts = line.split()
-            if len(parts) >= 7 and parts[1] in ("runner", "sweep", "inferred"):
-                rows[parts[0]] = (int(parts[2]), int(parts[3]), int(parts[4]))
+            if len(parts) >= 10 and parts[1] in ("runner", "sweep", "inferred"):
+                rows[parts[0]] = tuple(int(p) for p in parts[2:8])
         for target in (TARGET, INFERRED):
-            if rows.get(target) != (GRID_CELLS, GRID_CELLS, 0):
+            if rows.get(target) != (GRID_CELLS, GRID_CELLS, 0, 0, 0, 0):
                 fail(
                     f"dry run misclassified {target}: {rows.get(target)} "
-                    f"(expected ({GRID_CELLS}, {GRID_CELLS}, 0))\n{proc.stdout}"
+                    f"(expected ({GRID_CELLS}, {GRID_CELLS}, 0, 0, 0, 0))\n{proc.stdout}"
                 )
 
         print("[4/6] warm run: byte-identical, zero predictor work")

@@ -46,6 +46,46 @@ def atomic_write_json(path: str | os.PathLike, data: dict) -> None:
             handle.write("\n")
 
 
+def exclusive_create_json(path: str | os.PathLike, data: dict) -> bool:
+    """Atomically create ``path`` with content; False if it already exists.
+
+    The create-or-fail primitive behind work-queue claim files: exactly one
+    of any number of concurrent callers wins.  The content is staged to a
+    PID-suffixed sibling first and published with ``link(2)`` — which both
+    fails if the name exists (the exclusivity) and makes the complete JSON
+    appear *with* the name, so no reader can ever observe an empty or torn
+    claim from a live writer.  (A bare ``O_CREAT|O_EXCL`` + write is not
+    enough: the name exists before the content does, and a concurrent
+    reader would misread the gap as a dead writer's torn claim.)  On
+    filesystems without hard links the O_EXCL file-descriptor path is the
+    fallback — same exclusivity, weaker content atomicity.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    try:
+        os.link(tmp, path)
+        return True
+    except FileExistsError:
+        return False
+    except OSError:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return True
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
 def stale_tmp_siblings(path: str | os.PathLike) -> list[str]:
     """Leftover staging files of ``path`` from writers that died mid-write."""
     path = os.fspath(path)

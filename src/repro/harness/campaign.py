@@ -1,0 +1,853 @@
+"""Campaign orchestrator: classify -> plan -> execute over a shared run dir.
+
+The sweep layers below this one already persist everything a multi-process
+campaign needs — per-shard checkpoints (:mod:`repro.harness.parallel`), the
+content-addressed trace store, and the content-addressed result store — but
+until now "what work remains?" was answered three different ways: figconfig's
+grid probe, parallel's resume scan, and raw result-store key probes, none of
+which could tell a *failed* run from a *partial* one.  This module is the
+single answer.
+
+**Classification** (the ProjectScylla ``rerun_agents.py`` model).  Every cell
+of a campaign's shard universe lands in exactly one class:
+
+========================  =====================================  ============
+class                     evidence                               action
+========================  =====================================  ============
+``completed``             valid checkpoint under the final name  skip
+``partial``               torn checkpoint (unparseable /wrong    re-execute
+                          schema / shard mismatch), a stale
+                          ``*.tmp.<pid>`` staging file, or a
+                          claim file with no checkpoint (worker
+                          died mid-cell)
+``failed``                failure marker (retry budget            re-execute
+                          exhausted on a previous run)
+``results_missing``       no checkpoint, but the result store    regenerate
+                          has the cell's payload — assemble the  (no predictor
+                          checkpoint from the store              work)
+``missing``               none of the above                      execute
+========================  =====================================  ============
+
+Precedence: completed > partial(torn) > failed > partial(claim) >
+results_missing > missing.
+
+**Work queue.**  ``plan`` enqueues one JSON entry per actionable cell under
+``<run_dir>/queue/``; any number of worker processes — on any number of
+machines sharing the run directory — pull from it.  Mutual exclusion is one
+claim file per cell under ``<run_dir>/claims/``, created with
+``O_CREAT|O_EXCL`` (:func:`repro.common.atomic.exclusive_create_json`): the
+create-or-fail race has exactly one winner.  A claim older than
+``REPRO_CAMPAIGN_STALE_SECONDS`` is presumed abandoned (its worker crashed)
+and may be *stolen*; the steal is serialized by an atomic rename of the stale
+claim to a tombstone — ``rename(2)`` succeeds for exactly one stealer, so two
+workers can never both adopt the same dead cell.  Completion order is
+checkpoint -> dequeue -> release claim, so a crash at any point leaves
+evidence the scanner maps back to a class that re-converges.
+
+**Retries** are requeue-with-budget: a failing cell goes back on the queue
+with its attempt count incremented until ``max_retries`` is exhausted, at
+which point a failure marker is written and the cell classifies as
+``failed`` until a ``rerun --status failed`` clears it.
+
+Classification, claim, steal, and requeue all emit versioned events on the
+:mod:`repro.obs.events` bus (no-ops without ``REPRO_LOG``), and each worker
+ends with a ``campaign.worker`` run summary whose ``campaign.cells_executed``
+counter is the zero-duplication proof: summed across all workers of a
+campaign it must equal the number of planned executions exactly.
+
+Environment:
+
+* ``REPRO_CAMPAIGN_STALE_SECONDS`` — claim age beyond which it may be stolen
+  (default 600; must exceed the slowest single cell's execution time);
+* ``REPRO_CAMPAIGN_POLL_SECONDS`` — idle worker poll interval (default 0.2);
+* ``REPRO_CAMPAIGN_ABORT_AFTER=K`` — test hook: a worker dies (RuntimeError)
+  after K executed cells *while holding its next claim*, manufacturing the
+  stale-claim / partial evidence the crash drills classify and steal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import asdict, dataclass
+
+from repro import obs
+from repro.common.atomic import (
+    atomic_write_json,
+    exclusive_create_json,
+    stale_tmp_siblings,
+)
+from repro.common.errors import ConfigurationError, ReproError
+from repro.harness.parallel import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    Shard,
+    ShardOutcome,
+    _execute_shard,
+    _shard_result_key,
+    _shard_spec_payloads,
+    resolve_max_retries,
+)
+from repro.obs import events as obs_events
+
+#: Bumped when the campaign/queue/claim file layout changes.
+CAMPAIGN_SCHEMA = 1
+
+#: The five run classes, in display order.
+CLASSES = ("completed", "results_missing", "failed", "partial", "missing")
+
+#: What the planner does about each class.
+ACTIONS = {
+    "completed": "skip",
+    "results_missing": "regenerate",
+    "failed": "execute",
+    "partial": "execute",
+    "missing": "execute",
+}
+
+#: Default seconds before an untouched claim is presumed abandoned.
+DEFAULT_STALE_SECONDS = 600.0
+
+#: Default idle-worker poll interval.
+DEFAULT_POLL_SECONDS = 0.2
+
+#: ``--status`` spellings accepted for each canonical class.
+STATUS_ALIASES = {
+    "completed": "completed",
+    "results": "results_missing",
+    "results-missing": "results_missing",
+    "results_missing": "results_missing",
+    "failed": "failed",
+    "partial": "partial",
+    "missing": "missing",
+}
+
+
+class CampaignError(ReproError):
+    """A campaign operation failed (bad layout, incomplete merge, ...)."""
+
+
+def stale_seconds_default() -> float:
+    """The stale-claim threshold (``REPRO_CAMPAIGN_STALE_SECONDS``)."""
+    raw = os.environ.get("REPRO_CAMPAIGN_STALE_SECONDS", "").strip()
+    if not raw:
+        return DEFAULT_STALE_SECONDS
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_CAMPAIGN_STALE_SECONDS must be a number, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(f"stale seconds must be > 0, got {value}")
+    return value
+
+
+def poll_seconds_default() -> float:
+    """The idle-worker poll interval (``REPRO_CAMPAIGN_POLL_SECONDS``)."""
+    raw = os.environ.get("REPRO_CAMPAIGN_POLL_SECONDS", "").strip()
+    if not raw:
+        return DEFAULT_POLL_SECONDS
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_CAMPAIGN_POLL_SECONDS must be a number, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"poll seconds must be >= 0, got {value}")
+    return value
+
+
+def normalize_statuses(raw: str | list[str]) -> list[str]:
+    """Canonical class names for a ``--status`` value (comma-separable)."""
+    if isinstance(raw, str):
+        raw = raw.split(",")
+    names = []
+    for item in raw:
+        item = item.strip().lower()
+        if not item:
+            continue
+        canonical = STATUS_ALIASES.get(item)
+        if canonical is None:
+            raise ConfigurationError(
+                f"unknown status {item!r}; choose from "
+                + ", ".join(sorted(set(STATUS_ALIASES)))
+            )
+        if canonical not in names:
+            names.append(canonical)
+    if not names:
+        raise ConfigurationError("no statuses given")
+    return names
+
+
+# -- on-disk layout ------------------------------------------------------------
+
+
+class CampaignLayout:
+    """Path arithmetic for one campaign's shared run directory.
+
+    ::
+
+        <run_dir>/
+          campaign.json            pinned shard universe + per-kind config
+          run.json                 per-kind config pin (CheckpointStore)
+          shards/<key>.json        completed-cell checkpoints
+          shards/<key>.failed.json failure markers (retry budget exhausted)
+          queue/<key>.json         outstanding work units
+          claims/<key>.json        live worker claims
+          merged.json              the deterministic merge
+    """
+
+    def __init__(self, run_dir: str) -> None:
+        self.run_dir = run_dir
+        self.shard_dir = os.path.join(run_dir, "shards")
+        self.queue_dir = os.path.join(run_dir, "queue")
+        self.claim_dir = os.path.join(run_dir, "claims")
+        self.campaign_path = os.path.join(run_dir, "campaign.json")
+        self.merged_path = os.path.join(run_dir, "merged.json")
+
+    def ensure(self) -> "CampaignLayout":
+        for directory in (self.shard_dir, self.queue_dir, self.claim_dir):
+            os.makedirs(directory, exist_ok=True)
+        return self
+
+    def checkpoint_path(self, shard: Shard) -> str:
+        return os.path.join(self.shard_dir, f"{shard.key}.json")
+
+    def failure_path(self, shard: Shard) -> str:
+        return os.path.join(self.shard_dir, f"{shard.key}.failed.json")
+
+    def queue_path(self, key: str) -> str:
+        return os.path.join(self.queue_dir, f"{key}.json")
+
+    def claim_path(self, key: str) -> str:
+        return os.path.join(self.claim_dir, f"{key}.json")
+
+
+def _read_json(path: str) -> dict | None:
+    """``path`` parsed as a JSON object, or None (absent, torn, not a dict)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def shard_from_dict(data: dict) -> Shard:
+    """Rebuild a :class:`Shard` from its ``asdict`` form."""
+    return Shard(
+        kind=data["kind"],
+        benchmark=data["benchmark"],
+        family=data["family"],
+        budget_bytes=int(data["budget_bytes"]),
+        mode=data.get("mode", ""),
+    )
+
+
+# -- campaign spec -------------------------------------------------------------
+
+
+def create_campaign(
+    run_dir: str,
+    shards: list[Shard],
+    cfg_by_kind: dict[str, dict],
+    label: str = "campaign",
+) -> dict:
+    """Create (or idempotently join) the campaign pinned in ``run_dir``.
+
+    The first creator writes ``campaign.json`` — the shard universe in
+    canonical merge order plus the per-kind sweep configuration — and pins
+    the same configuration through :meth:`CheckpointStore.pin_config` so
+    plain ``--run-dir`` resumes see it too.  Later callers (concurrent
+    workers, reruns) must present an identical universe and configuration
+    or the directory is refused rather than silently mixed.
+    """
+    layout = CampaignLayout(run_dir).ensure()
+    store = CheckpointStore(run_dir)
+    spec = json.loads(
+        json.dumps(
+            {
+                "schema": CAMPAIGN_SCHEMA,
+                "label": label,
+                "cfg": cfg_by_kind,
+                "shards": [asdict(shard) for shard in shards],
+            }
+        )
+    )
+    for kind in sorted({shard.kind for shard in shards}):
+        store.pin_config(kind, cfg_by_kind[kind])
+    existing = _read_json(layout.campaign_path)
+    if existing is None:
+        atomic_write_json(layout.campaign_path, spec)
+        return spec
+    if (
+        existing.get("schema") != CAMPAIGN_SCHEMA
+        or existing.get("shards") != spec["shards"]
+        or existing.get("cfg") != spec["cfg"]
+    ):
+        raise ConfigurationError(
+            f"run directory {run_dir!r} already holds a different campaign "
+            f"(label {existing.get('label')!r}); use a fresh run dir or rerun "
+            f"with the original grid and configuration"
+        )
+    return existing
+
+
+def load_campaign(run_dir: str) -> dict:
+    """The campaign pinned in ``run_dir`` (raises without one)."""
+    layout = CampaignLayout(run_dir)
+    spec = _read_json(layout.campaign_path)
+    if spec is None:
+        raise CampaignError(
+            f"{layout.campaign_path} not found or unreadable — create the "
+            f"campaign first (repro-campaign run) before scanning it"
+        )
+    if spec.get("schema") != CAMPAIGN_SCHEMA:
+        raise CampaignError(
+            f"{layout.campaign_path} has campaign schema {spec.get('schema')!r}; "
+            f"this build reads schema {CAMPAIGN_SCHEMA}"
+        )
+    return spec
+
+
+def campaign_shards(spec: dict) -> list[Shard]:
+    """The campaign's shard universe, in canonical merge order."""
+    return [shard_from_dict(item) for item in spec["shards"]]
+
+
+# -- classification ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellStatus:
+    """One classified cell: the shard, its class, and the planned action."""
+
+    shard: Shard
+    status: str
+
+    @property
+    def action(self) -> str:
+        return ACTIONS[self.status]
+
+
+def _checkpoint_state(layout: CampaignLayout, shard: Shard) -> str:
+    """``"valid"`` / ``"torn"`` / ``"absent"`` for one cell's checkpoint.
+
+    Torn means *evidence of an interrupted write*: a file under the final
+    name that does not parse, carries the wrong schema, or describes a
+    different shard — or a leftover ``*.tmp.<pid>`` staging sibling with no
+    valid final file.  ``CheckpointStore.load`` collapses all of those to
+    "absent" (correct for resume); classification must keep them distinct
+    because a torn checkpoint proves a worker died *here*.
+    """
+    path = layout.checkpoint_path(shard)
+    data = _read_json(path)
+    if data is not None:
+        if data.get("schema") == CHECKPOINT_SCHEMA and data.get("shard") == asdict(shard):
+            return "valid"
+        return "torn"
+    if os.path.exists(path):
+        return "torn"  # present but unreadable/unparseable: killed mid-write
+    if stale_tmp_siblings(path):
+        return "torn"
+    return "absent"
+
+
+def classify_shard(
+    shard: Shard,
+    layout: CampaignLayout | None = None,
+    result_store=None,
+    cfg: dict | None = None,
+) -> str:
+    """The class of one cell (see the module table).
+
+    With a ``layout`` the full five-class evidence chain applies.  Without
+    one (figconfig's pure-store classification, where no run directory
+    exists) the result store is the only evidence: hit -> ``completed``,
+    miss -> ``missing``.
+    """
+    hit = None
+    if result_store is not None and cfg is not None:
+        key, cell = _shard_result_key(shard, cfg)
+        hit = result_store.probe(key, cell)
+    if layout is None:
+        return "completed" if hit else "missing"
+    state = _checkpoint_state(layout, shard)
+    if state == "valid":
+        return "completed"
+    if state == "torn":
+        return "partial"
+    if os.path.exists(layout.failure_path(shard)):
+        return "failed"
+    if os.path.exists(layout.claim_path(shard.key)):
+        return "partial"
+    if hit:
+        return "results_missing"
+    return "missing"
+
+
+def scan(
+    run_dir: str,
+    shards: list[Shard] | None = None,
+    cfg_by_kind: dict[str, dict] | None = None,
+    label: str = "",
+) -> list[CellStatus]:
+    """Classify every cell of the campaign in ``run_dir``.
+
+    ``shards``/``cfg_by_kind`` default to the pinned ``campaign.json``.
+    Emits one ``classify`` event with the per-class counts.
+    """
+    if shards is None or cfg_by_kind is None:
+        spec = load_campaign(run_dir)
+        shards = campaign_shards(spec) if shards is None else shards
+        cfg_by_kind = spec["cfg"] if cfg_by_kind is None else cfg_by_kind
+        label = label or spec.get("label", "")
+    layout = CampaignLayout(run_dir)
+    from repro.harness.resultstore import active_result_store
+
+    result_store = active_result_store()
+    cells = [
+        CellStatus(
+            shard,
+            classify_shard(
+                shard,
+                layout=layout,
+                result_store=result_store,
+                cfg=cfg_by_kind.get(shard.kind),
+            ),
+        )
+        for shard in shards
+    ]
+    obs_events.emit_classify(class_counts(cells), label=label or "campaign.scan")
+    return cells
+
+
+def class_counts(cells: list[CellStatus]) -> dict[str, int]:
+    """Per-class cell counts, zero-filled over all five classes."""
+    counts = dict.fromkeys(CLASSES, 0)
+    for cell in cells:
+        counts[cell.status] += 1
+    return counts
+
+
+# -- work queue ----------------------------------------------------------------
+
+
+class WorkQueue:
+    """The file-locked on-disk work queue under ``<run_dir>/queue``.
+
+    Entries are one JSON file per cell; claims are one JSON file per cell
+    under ``<run_dir>/claims``.  Everything is safe against concurrent
+    workers on machines that only share the filesystem: entry writes are
+    atomic renames, claims are ``O_EXCL`` creates, and steals are
+    serialized by the tombstone rename (exactly one ``rename(2)`` caller
+    sees the source file).
+    """
+
+    def __init__(self, layout: CampaignLayout) -> None:
+        self.layout = layout
+
+    # entries ------------------------------------------------------------
+
+    def enqueue(self, shard: Shard, action: str, attempts: int = 0) -> None:
+        """Idempotently (re)write one work unit."""
+        atomic_write_json(
+            self.layout.queue_path(shard.key),
+            {
+                "schema": CAMPAIGN_SCHEMA,
+                "shard": asdict(shard),
+                "action": action,
+                "attempts": attempts,
+            },
+        )
+
+    def entry(self, key: str) -> dict | None:
+        """The current entry for ``key`` (None once dequeued)."""
+        data = _read_json(self.layout.queue_path(key))
+        if data is None or data.get("schema") != CAMPAIGN_SCHEMA:
+            return None
+        return data
+
+    def keys(self) -> list[str]:
+        """Outstanding work-unit keys, sorted for deterministic pull order."""
+        try:
+            names = os.listdir(self.layout.queue_dir)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json") and ".tmp." not in name
+        )
+
+    def dequeue(self, key: str) -> None:
+        try:
+            os.unlink(self.layout.queue_path(key))
+        except OSError:
+            pass
+
+    # claims -------------------------------------------------------------
+
+    def try_claim(self, key: str, owner: str, stale_seconds: float) -> str | None:
+        """Claim ``key`` for ``owner``: ``"claimed"``, ``"stolen"``, or None.
+
+        None means another worker holds a live claim — skip the cell and
+        come back later.  A claim whose ``ts`` is older than
+        ``stale_seconds`` (or that is unreadable: its writer died
+        mid-create) is stolen: the stale file is renamed to a PID-suffixed
+        tombstone first, and since exactly one concurrent ``rename`` of the
+        same source succeeds, exactly one stealer proceeds to re-create the
+        claim — via the same ``O_EXCL`` create a fresh claimer uses, so a
+        stealer can still lose to a faster fresh claimer and back off.
+        """
+        path = self.layout.claim_path(key)
+        claim = {
+            "schema": CAMPAIGN_SCHEMA,
+            "owner": owner,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "ts": time.time(),
+        }
+        if exclusive_create_json(path, claim):
+            return "claimed"
+        existing = _read_json(path)
+        if existing is not None:
+            age = time.time() - float(existing.get("ts", 0.0))
+        else:
+            # Unreadable claim: fall back to the file clock rather than
+            # presuming its writer dead — claims are published with their
+            # content (link trick), so this is a legacy/corrupt file, and
+            # mtime still bounds how long its owner could have been alive.
+            try:
+                age = time.time() - os.stat(path).st_mtime
+            except OSError:
+                return None  # vanished under us: released or stolen; move on
+        if age < stale_seconds:
+            return None
+        tombstone = f"{path}.stale.{os.getpid()}"
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return None  # another stealer won the rename
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        if exclusive_create_json(path, claim):
+            return "stolen"
+        return None
+
+    def release(self, key: str) -> None:
+        try:
+            os.unlink(self.layout.claim_path(key))
+        except OSError:
+            pass
+
+
+# -- planner -------------------------------------------------------------------
+
+
+def plan(
+    run_dir: str,
+    statuses: list[str] | None = None,
+    cells: list[CellStatus] | None = None,
+) -> dict[str, int]:
+    """Turn a scan into queued work; returns per-action planned counts.
+
+    Every actionable cell (anything but ``completed``) is enqueued —
+    restricted to ``statuses`` when given (the ``rerun --status`` path).
+    Planning a ``failed`` or ``partial`` cell clears its stale evidence
+    (failure marker, torn checkpoint, staging droppings) so the fresh
+    execution starts from a clean slate; live claims are deliberately left
+    alone — the stale-claim steal in :meth:`WorkQueue.try_claim` is the
+    only codepath allowed to break one.
+    """
+    layout = CampaignLayout(run_dir).ensure()
+    queue = WorkQueue(layout)
+    if cells is None:
+        cells = scan(run_dir)
+    planned = {"execute": 0, "regenerate": 0, "skip": 0}
+    for cell in cells:
+        if statuses is not None and cell.status not in statuses:
+            continue
+        if cell.action == "skip":
+            planned["skip"] += 1
+            continue
+        if cell.status == "failed":
+            try:
+                os.unlink(layout.failure_path(cell.shard))
+            except OSError:
+                pass
+        if cell.status == "partial":
+            checkpoint = layout.checkpoint_path(cell.shard)
+            for stale in stale_tmp_siblings(checkpoint):
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
+            data = _read_json(checkpoint)
+            if data is None or data.get("schema") != CHECKPOINT_SCHEMA or data.get(
+                "shard"
+            ) != asdict(cell.shard):
+                try:
+                    os.unlink(checkpoint)
+                except OSError:
+                    pass
+        queue.enqueue(cell.shard, cell.action)
+        planned[cell.action] += 1
+    return planned
+
+
+# -- worker --------------------------------------------------------------------
+
+
+def _regenerate_payload(shard: Shard, cfg: dict) -> dict | None:
+    """The cell's payload straight from the result store (None on miss).
+
+    The ``results_missing`` fast path: no trace load, no predictor build —
+    the store entry *is* the result, checksum-verified by the store itself.
+    """
+    from repro.harness.resultstore import active_result_store
+
+    store = active_result_store()
+    if store is None:
+        return None
+    key, cell = _shard_result_key(shard, cfg)
+    return store.load(key, cell)
+
+
+def run_worker(
+    run_dir: str,
+    owner: str | None = None,
+    stale_seconds: float | None = None,
+    poll_seconds: float | None = None,
+    max_retries: int | None = None,
+) -> dict:
+    """Pull work units from the campaign queue until it drains.
+
+    One call = one worker process.  Run any number of these concurrently
+    against the same run directory (locally or across machines sharing
+    it); the claim protocol guarantees each cell executes exactly once
+    barring crashes, and crash recovery is a rescan away.
+
+    Returns (and emits as a ``campaign.worker`` run summary) this worker's
+    counters: ``cells_executed``, ``cells_regenerated``, ``claims``,
+    ``steals``, ``requeues``, ``failures``.
+    """
+    spec = load_campaign(run_dir)
+    cfg_by_kind = spec["cfg"]
+    layout = CampaignLayout(run_dir).ensure()
+    queue = WorkQueue(layout)
+    store = CheckpointStore(run_dir)
+    owner = owner or f"{socket.gethostname()}:{os.getpid()}"
+    stale_seconds = stale_seconds if stale_seconds is not None else stale_seconds_default()
+    poll_seconds = poll_seconds if poll_seconds is not None else poll_seconds_default()
+    max_retries = resolve_max_retries(max_retries)
+    abort_after = int(os.environ.get("REPRO_CAMPAIGN_ABORT_AFTER", "0") or "0")
+    spec_payloads = _shard_spec_payloads(campaign_shards(spec))
+    obs.claim_log_ownership()
+    counters = {
+        "cells_executed": 0,
+        "cells_regenerated": 0,
+        "claims": 0,
+        "steals": 0,
+        "requeues": 0,
+        "failures": 0,
+    }
+    status = "completed"
+    started = time.perf_counter()
+    try:
+        with obs.span("campaign.worker", owner=owner, run_dir=run_dir):
+            # _execute_shard runs in-process here (unlike the parallel
+            # pool), so the open campaign.worker span already parents the
+            # shard spans through the local stack.  Adopting a context
+            # would install a process-global ambient parent that outlives
+            # this call.
+            trace_ctx = None
+            while True:
+                keys = queue.keys()
+                if not keys:
+                    break
+                progressed = False
+                for key in keys:
+                    claim = queue.try_claim(key, owner, stale_seconds)
+                    if claim is None:
+                        continue
+                    progressed = True
+                    counters["claims"] += 1
+                    if claim == "stolen":
+                        counters["steals"] += 1
+                    obs_events.emit_claim(key, owner, stolen=claim == "stolen")
+                    # A raise out of _work_one (the abort drill, or anything
+                    # unexpected) deliberately leaves the claim held — that
+                    # is exactly the stale-claim evidence a crashed worker
+                    # leaves, and the steal path is how it gets cleaned up.
+                    _work_one(
+                        key,
+                        queue,
+                        store,
+                        layout,
+                        cfg_by_kind,
+                        spec_payloads,
+                        counters,
+                        max_retries,
+                        trace_ctx,
+                        abort_after,
+                    )
+                    queue.release(key)
+                if not progressed and queue.keys():
+                    # Everything outstanding is claimed by live workers;
+                    # wait for them to finish, fail, or go stale.
+                    time.sleep(poll_seconds)
+    except BaseException:
+        status = "aborted"
+        raise
+    finally:
+        summary = {
+            "schema": CAMPAIGN_SCHEMA,
+            "owner": owner,
+            "status": status,
+            "wall_seconds": time.perf_counter() - started,
+            "cells": dict(counters),
+        }
+        obs_events.emit_counter(
+            {f"campaign.{name}": value for name, value in counters.items()}
+        )
+        obs_events.emit_run_summary("campaign.worker", summary)
+    return counters
+
+
+def _work_one(
+    key: str,
+    queue: WorkQueue,
+    store: CheckpointStore,
+    layout: CampaignLayout,
+    cfg_by_kind: dict[str, dict],
+    spec_payloads: dict,
+    counters: dict[str, int],
+    max_retries: int,
+    trace_ctx: dict | None,
+    abort_after: int,
+) -> bool:
+    """Process one claimed work unit; True when the claim may be released.
+
+    The entry is re-read *after* claiming: a worker that completed the cell
+    moments ago dequeued it before releasing its claim, so a vanished entry
+    (or an already-valid checkpoint) means the work is done, not ours.
+    """
+    entry = queue.entry(key)
+    if entry is None:
+        return True
+    shard = shard_from_dict(entry["shard"])
+    if store.load(shard) is not None:
+        queue.dequeue(key)
+        return True
+    done = counters["cells_executed"] + counters["cells_regenerated"]
+    if abort_after and done >= abort_after:
+        # Crash drill: die holding this claim, leaving the stale-claim /
+        # still-queued evidence the scanner must classify as partial.
+        raise RuntimeError(
+            f"aborted by REPRO_CAMPAIGN_ABORT_AFTER={abort_after} "
+            f"after {done} cells (claim {key} left held)"
+        )
+    cfg = cfg_by_kind.get(shard.kind)
+    if cfg is None:
+        raise CampaignError(f"campaign has no configuration for kind {shard.kind!r}")
+    attempt = int(entry.get("attempts", 0))
+    action = entry.get("action", "execute")
+    started = time.perf_counter()
+    try:
+        payload = None
+        regenerated = False
+        if action == "regenerate":
+            payload = _regenerate_payload(shard, cfg)
+            regenerated = payload is not None
+            # A store entry evicted since the scan falls through to a
+            # normal execution rather than failing the cell.
+        if payload is None:
+            result = _execute_shard(
+                shard,
+                cfg,
+                attempt,
+                spec_payloads.get((shard.family, shard.budget_bytes)),
+                trace_ctx,
+            )
+            payload = result["payload"]
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        counters["failures"] += 1
+        obs_events.emit_retry(key, attempt, error)
+        if attempt < max_retries:
+            queue.enqueue(shard, action, attempts=attempt + 1)
+            counters["requeues"] += 1
+            obs_events.emit_requeue(key, attempt + 1, error)
+        else:
+            atomic_write_json(
+                layout.failure_path(shard),
+                {
+                    "schema": CAMPAIGN_SCHEMA,
+                    "shard": asdict(shard),
+                    "attempts": attempt + 1,
+                    "error": error,
+                    "ts": time.time(),
+                },
+            )
+            queue.dequeue(key)
+        return True
+    outcome = ShardOutcome(
+        shard=shard,
+        payload=payload,
+        duration_seconds=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+        retries=attempt,
+    )
+    store.store(outcome)
+    obs_events.emit_checkpoint(key, "store")
+    if regenerated:
+        counters["cells_regenerated"] += 1
+    else:
+        counters["cells_executed"] += 1
+    queue.dequeue(key)
+    return True
+
+
+# -- merge ---------------------------------------------------------------------
+
+
+def merge(run_dir: str) -> dict:
+    """Assemble ``merged.json`` from the campaign's checkpoints.
+
+    Rows are emitted in the canonical order pinned by ``campaign.json``
+    and contain only the shard identity and its payload — no PIDs, no
+    timings — so a merge is byte-identical across serial, parallel,
+    interrupted-and-resumed, and multi-worker campaigns that computed the
+    same cells.
+    """
+    spec = load_campaign(run_dir)
+    layout = CampaignLayout(run_dir)
+    store = CheckpointStore(run_dir)
+    rows = []
+    incomplete = []
+    for shard in campaign_shards(spec):
+        outcome = store.load(shard)
+        if outcome is None:
+            incomplete.append(shard.key)
+            continue
+        rows.append({"shard": asdict(shard), "payload": outcome.payload})
+    if incomplete:
+        raise CampaignError(
+            f"campaign in {run_dir!r} is not complete; "
+            f"{len(incomplete)} cells lack checkpoints "
+            f"(first: {incomplete[0]}) — run workers or rerun failed cells first"
+        )
+    merged = {
+        "schema": CAMPAIGN_SCHEMA,
+        "label": spec.get("label", ""),
+        "rows": rows,
+    }
+    atomic_write_json(layout.merged_path, merged)
+    return merged

@@ -51,6 +51,7 @@ uninstrumented tool.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -345,11 +346,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.dry_run:
         if not configs:
             parser.error("--dry-run requires --config")
-        from repro.harness.figconfig import classify, render_dry_run
+        from repro.harness.figconfig import classify
+        from repro.harness.report import render_classification
         from repro.harness.resultstore import active_result_store
 
         store = active_result_store()
-        print(render_dry_run([classify(config, store) for config in configs]))
+        run_dir = args.run_dir or os.environ.get("REPRO_RUN_DIR", "").strip() or None
+        print(
+            render_classification(
+                "Config targets: result-store classification (dry run)",
+                [classify(config, store, run_dir=run_dir) for config in configs],
+            )
+        )
         return 0
     if not args.targets and not configs:
         parser.error(
@@ -404,6 +412,272 @@ def main(argv: list[str] | None = None) -> int:
         if args.verbose:
             obs.set_verbose(None)
     return 0
+
+
+# -- repro-campaign ------------------------------------------------------------
+
+
+def _campaign_grid(args, parser) -> tuple[list, dict]:
+    """(shards, cfg_by_kind) from the ``run`` subcommand's grid flags."""
+    from repro.harness.figconfig import grid_cfg
+    from repro.harness.parallel import Shard
+    from repro.harness.scale import benchmark_names
+
+    if not args.families or not args.budgets:
+        parser.error(
+            "creating a campaign requires --families and --budgets "
+            "(omit both to join the campaign already pinned in RUN_DIR)"
+        )
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    try:
+        budgets = [int(b) for b in args.budgets.split(",") if b.strip()]
+    except ValueError:
+        parser.error("--budgets must be a comma-separated list of integers")
+    benchmarks = (
+        [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+        if args.benchmarks
+        else benchmark_names()
+    )
+    modes = [m.strip() for m in (args.mode or "ideal").split(",") if m.strip()]
+    shards = []
+    # Canonical merge order: benchmark -> family -> budget (-> mode), the
+    # serial sweeps' iteration order.
+    for benchmark in benchmarks:
+        for family in families:
+            for budget in budgets:
+                if args.kind == "ipc":
+                    shards.extend(
+                        Shard("ipc", benchmark, family, budget, mode) for mode in modes
+                    )
+                else:
+                    shards.append(Shard("accuracy", benchmark, family, budget))
+    return shards, {args.kind: grid_cfg(args.kind)}
+
+
+def _campaign_report(run_dir: str, cells, label: str) -> dict:
+    """One scan as a JSON-able report (also the table renderer's input)."""
+    from repro.harness.campaign import class_counts
+
+    counts = class_counts(cells)
+    return {
+        "target": label or os.path.basename(run_dir.rstrip("/")) or run_dir,
+        "mode": "campaign",
+        "cells": len(cells),
+        "counts": counts,
+        "shards": [
+            {"shard": cell.shard.key, "status": cell.status, "action": cell.action}
+            for cell in cells
+        ],
+    }
+
+
+def _print_campaign_scan(run_dir: str, cells, label: str, as_json: bool) -> dict:
+    from repro.harness.report import render_classification
+
+    report = _campaign_report(run_dir, cells, label)
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            render_classification(
+                f"Campaign classification: {run_dir}",
+                [{k: v for k, v in report.items() if k != "shards"}],
+            )
+        )
+    return report
+
+
+def _run_campaign_worker(args, run_dir: str) -> dict:
+    from repro.harness.campaign import run_worker
+
+    return run_worker(
+        run_dir,
+        owner=args.owner,
+        stale_seconds=args.stale_seconds,
+        poll_seconds=args.poll_seconds,
+        max_retries=args.max_retries,
+    )
+
+
+def campaign_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-campaign`` (``scan | run | rerun``).
+
+    ``scan`` classifies every cell of the campaign pinned in RUN_DIR into
+    completed / results-missing / failed / partial / missing without
+    touching anything.  ``run`` creates (or joins) a campaign, plans the
+    actionable cells onto the shared work queue, works the queue until it
+    drains, and merges — launch it from several processes (or machines
+    sharing RUN_DIR) for multi-worker execution.  ``rerun`` re-plans only
+    the cells in the given classes (``--status failed,partial``), works
+    them, and re-merges.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Classify, execute, and selectively rerun sweep campaigns "
+        "over a shared run directory",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scan_p = subparsers.add_parser(
+        "scan", help="classify every campaign cell (non-mutating)"
+    )
+    scan_p.add_argument("run_dir", metavar="RUN_DIR")
+    scan_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="no-op (scan never mutates); accepted for symmetry with run",
+    )
+    scan_p.add_argument("--json", action="store_true", help="emit JSON instead")
+
+    run_p = subparsers.add_parser(
+        "run", help="create/join a campaign, work its queue, merge"
+    )
+    rerun_p = subparsers.add_parser(
+        "rerun", help="re-plan and re-execute only the given classes"
+    )
+    rerun_p.add_argument(
+        "--status",
+        required=True,
+        metavar="CLASSES",
+        help="comma-separated classes to rerun (e.g. failed,partial; "
+        "'results' regenerates checkpoints from the result store)",
+    )
+    for sub in (run_p, rerun_p):
+        sub.add_argument("run_dir", metavar="RUN_DIR")
+        sub.add_argument(
+            "--owner",
+            default=None,
+            help="worker identity recorded in claims (default host:pid)",
+        )
+        sub.add_argument(
+            "--stale-seconds",
+            type=float,
+            default=None,
+            metavar="S",
+            help="steal claims older than S seconds "
+            "(or REPRO_CAMPAIGN_STALE_SECONDS; default 600 — must exceed "
+            "the slowest single cell)",
+        )
+        sub.add_argument(
+            "--poll-seconds",
+            type=float,
+            default=None,
+            metavar="S",
+            help="idle poll interval while other workers hold all remaining "
+            "claims (or REPRO_CAMPAIGN_POLL_SECONDS; default 0.2)",
+        )
+        sub.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="requeue a failing cell up to N times before marking it "
+            "failed (or REPRO_MAX_RETRIES; default 2)",
+        )
+        sub.add_argument(
+            "--no-merge",
+            action="store_true",
+            help="skip the final merge (e.g. while other workers still run)",
+        )
+        sub.add_argument("--json", action="store_true", help="emit JSON instead")
+    run_p.add_argument(
+        "--kind", choices=("accuracy", "ipc"), default="accuracy",
+        help="sweep kind when creating a campaign (default accuracy)",
+    )
+    run_p.add_argument(
+        "--families", default=None, metavar="A,B",
+        help="comma-separated predictor families (creates the campaign; "
+        "omit to join the one already pinned in RUN_DIR)",
+    )
+    run_p.add_argument(
+        "--budgets", default=None, metavar="N,M",
+        help="comma-separated hardware budgets in bytes",
+    )
+    run_p.add_argument(
+        "--benchmarks", default=None, metavar="A,B",
+        help="comma-separated benchmarks (default REPRO_BENCHMARKS or all)",
+    )
+    run_p.add_argument(
+        "--mode", default=None, metavar="M[,M]",
+        help="ipc policy modes (default 'ideal'; ignored for accuracy)",
+    )
+    run_p.add_argument(
+        "--label", default="campaign", help="campaign label recorded in events"
+    )
+    run_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="classify and report planned actions, then exit without "
+        "executing anything",
+    )
+
+    args = parser.parse_args(argv)
+    from repro.common.errors import ReproError
+    from repro.harness import campaign
+
+    obs.claim_log_ownership()
+    try:
+        if args.command == "scan":
+            cells = campaign.scan(args.run_dir)
+            _print_campaign_scan(args.run_dir, cells, "", args.json)
+            return 0
+
+        if args.command == "run":
+            if args.families or args.budgets:
+                shards, cfg_by_kind = _campaign_grid(args, parser)
+                campaign.create_campaign(
+                    args.run_dir, shards, cfg_by_kind, label=args.label
+                )
+            else:
+                campaign.load_campaign(args.run_dir)
+            cells = campaign.scan(args.run_dir)
+            if args.dry_run:
+                # Report what plan() *would* do without touching the queue
+                # or clearing any failure/partial evidence.
+                planned = {"execute": 0, "regenerate": 0, "skip": 0}
+                for cell in cells:
+                    planned[cell.action] += 1
+                _print_campaign_scan(args.run_dir, cells, "", args.json)
+                if not args.json:
+                    print(
+                        f"planned: {planned['execute']} execute, "
+                        f"{planned['regenerate']} regenerate, "
+                        f"{planned['skip']} skip (dry run: nothing queued or ran)"
+                    )
+                return 0
+            planned = campaign.plan(args.run_dir, cells=cells)
+            statuses = None
+        else:  # rerun
+            statuses = campaign.normalize_statuses(args.status)
+            cells = campaign.scan(args.run_dir)
+            planned = campaign.plan(args.run_dir, statuses=statuses, cells=cells)
+
+        counters = _run_campaign_worker(args, args.run_dir)
+        result = {
+            "run_dir": args.run_dir,
+            "planned": planned,
+            "worker": counters,
+        }
+        if not args.no_merge:
+            merged = campaign.merge(args.run_dir)
+            result["merged"] = campaign.CampaignLayout(args.run_dir).merged_path
+            result["rows"] = len(merged["rows"])
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(
+                f"planned: {planned['execute']} execute, "
+                f"{planned['regenerate']} regenerate; "
+                f"worker: {counters['cells_executed']} executed, "
+                f"{counters['cells_regenerated']} regenerated, "
+                f"{counters['steals']} stolen, {counters['requeues']} requeued"
+            )
+            if "merged" in result:
+                print(f"merged {result['rows']} rows -> {result['merged']}")
+        return 0
+    except ReproError as exc:
+        print(f"repro-campaign: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

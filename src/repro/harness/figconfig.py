@@ -281,15 +281,11 @@ def _import_family_modules(config: TargetConfig) -> None:
         importlib.import_module(module)
 
 
-def _grid_keys(grid: GridSpec) -> Iterator[tuple[str, object]]:
-    """(key, cell) pairs for every grid cell, using the sweeps' exact
-    recipe resolved from the current environment."""
+def grid_cfg(kind: str) -> dict:
+    """The per-kind sweep configuration the current environment resolves
+    to — the very dict the executors pin in ``run.json``, so a config
+    target's cell keys match the sweeps' exactly."""
     from repro.harness.experiment import default_engine
-    from repro.harness.resultstore import (
-        ResultCell,
-        accuracy_result_key,
-        ipc_result_key,
-    )
     from repro.harness.scale import (
         WARMUP_FRACTION,
         accuracy_instructions,
@@ -297,72 +293,58 @@ def _grid_keys(grid: GridSpec) -> Iterator[tuple[str, object]]:
     )
     from repro.uarch.config import PAPER_MACHINE
 
+    if kind == "accuracy":
+        return {
+            "instructions": accuracy_instructions(),
+            "engine": default_engine(),
+            "warmup_fraction": WARMUP_FRACTION,
+        }
+    return {"instructions": ipc_instructions(), "machine": asdict(PAPER_MACHINE)}
+
+
+def grid_shards(grid: GridSpec) -> Iterator:
+    """Every grid cell as a campaign/parallel :class:`Shard`."""
+    from repro.harness.parallel import Shard
+
     if grid.kind == "accuracy":
-        instructions = accuracy_instructions()
-        engine = default_engine()
         for benchmark, family, budget in grid.cells():
-            yield (
-                accuracy_result_key(
-                    benchmark, family, budget, instructions, engine, WARMUP_FRACTION
-                ),
-                ResultCell("accuracy", benchmark, family, budget),
-            )
+            yield Shard("accuracy", benchmark, family, budget)
     else:
-        instructions = ipc_instructions()
-        machine = asdict(PAPER_MACHINE)
         for benchmark, family, budget, mode in grid.cells():
-            yield (
-                ipc_result_key(benchmark, family, budget, mode, instructions, machine),
-                ResultCell("ipc", benchmark, family, budget, mode),
-            )
+            yield Shard("ipc", benchmark, family, budget, mode)
 
 
-def classify(config: TargetConfig, store) -> dict:
-    """Dry-run classification of one target against ``store`` (may be
-    None): how many declared cells would hit vs miss, and whether the
-    target is inferred.  Non-mutating — uses the store's ``probe``."""
+def classify(config: TargetConfig, store, run_dir: str | None = None) -> dict:
+    """Dry-run classification of one target through the campaign scanner.
+
+    Non-mutating (store probes only).  Without ``run_dir`` the result
+    store is the only evidence, so cells classify as ``completed`` (hit)
+    or ``missing``; with one, checkpoints, failure markers, and claims
+    classify into all five campaign classes.  ``hit``/``miss`` summarize
+    the counts either way: hit = recoverable without predictor work
+    (completed + results_missing), miss = everything that must execute.
+    """
+    from repro.harness.campaign import CLASSES, CampaignLayout, classify_shard
+
     _import_family_modules(config)
-    hits = 0
-    misses = 0
+    layout = CampaignLayout(run_dir) if run_dir else None
+    counts = dict.fromkeys(CLASSES, 0)
     for grid in config.grids:
-        for key, cell in _grid_keys(grid):
-            if store is not None and store.probe(key, cell):
-                hits += 1
-            else:
-                misses += 1
+        cfg = grid_cfg(grid.kind)
+        for shard in grid_shards(grid):
+            counts[
+                classify_shard(shard, layout=layout, result_store=store, cfg=cfg)
+            ] += 1
     return {
         "target": config.name,
         "mode": config.mode,
         "inferred": config.mode == "inferred",
         "based_on": list(config.based_on),
-        "cells": hits + misses,
-        "hit": hits,
-        "miss": misses,
+        "cells": sum(counts.values()),
+        "counts": counts,
+        "hit": counts["completed"] + counts["results_missing"],
+        "miss": counts["failed"] + counts["partial"] + counts["missing"],
     }
-
-
-def render_dry_run(reports: list[dict]) -> str:
-    """The ``--dry-run`` report as an aligned text table."""
-    from repro.harness.report import render_table
-
-    rows = []
-    for report in reports:
-        rows.append(
-            (
-                report["target"],
-                report["mode"],
-                report["cells"],
-                report["hit"],
-                report["miss"],
-                "yes" if report["inferred"] else "no",
-                ",".join(report["based_on"]) or "-",
-            )
-        )
-    return render_table(
-        "Config targets: result-store classification (dry run)",
-        ["target", "mode", "cells", "hit", "miss", "inferred", "based on"],
-        rows,
-    )
 
 
 # -- execution -----------------------------------------------------------------

@@ -122,6 +122,7 @@ class ShardOutcome:
     worker_pid: int
     retries: int = 0
     from_checkpoint: bool = False
+    regenerated: bool = False  # assembled from the result store, not executed
     trace_cache: dict = field(default_factory=dict)
     trace_store: dict = field(default_factory=dict)
     result_store: dict = field(default_factory=dict)
@@ -463,6 +464,10 @@ def run_shards(
     machine parameters); with ``run_dir`` it is pinned in ``run.json`` and
     completed shards are checkpointed and skipped on resume.
     """
+    # Deferred: campaign imports this module at its own import time.
+    from repro.harness import campaign as campaign_mod
+    from repro.harness.resultstore import active_result_store
+
     jobs = pool_jobs(jobs)
     max_retries = resolve_max_retries(max_retries)
     cfg = _json_roundtrip(cfg)
@@ -473,20 +478,64 @@ def run_shards(
     spec_payloads = _shard_spec_payloads(shards)
     kinds = {shard.kind for shard in shards}
     store = None
+    layout = None
     if run_dir is not None:
         store = CheckpointStore(run_dir)
+        layout = campaign_mod.CampaignLayout(run_dir)
         for kind in sorted(kinds):
             store.pin_config(kind, cfg)
 
+    # Resume is a campaign scan: the classifier is the single authority on
+    # what a run directory already holds (the old bespoke checkpoint loop
+    # could not tell completed from torn, failed, or store-recoverable).
     outcomes: dict[str, ShardOutcome] = {}
     remaining: dict[str, Shard] = {}
-    for shard in shards:
-        loaded = store.load(shard) if store is not None else None
-        if loaded is not None:
-            outcomes[shard.key] = loaded
-            obs_events.emit_checkpoint(shard.key, "load")
-        else:
-            remaining[shard.key] = shard
+    if store is None:
+        remaining = {shard.key: shard for shard in shards}
+    else:
+        result_store = active_result_store()
+        cells = [
+            campaign_mod.CellStatus(
+                shard,
+                campaign_mod.classify_shard(
+                    shard, layout=layout, result_store=result_store, cfg=cfg
+                ),
+            )
+            for shard in shards
+        ]
+        obs_events.emit_classify(campaign_mod.class_counts(cells), label=label)
+        for cell in cells:
+            shard = cell.shard
+            if cell.status == "completed":
+                outcomes[shard.key] = store.load(shard)
+                obs_events.emit_checkpoint(shard.key, "load")
+            elif cell.status == "results_missing":
+                # Regenerate-only: the checkpoint is assembled straight from
+                # the result store — no trace load, no predictor work.
+                key, rcell = _shard_result_key(shard, cfg)
+                payload = result_store.load(key, rcell)
+                if payload is None:  # evicted/corrupted since classification
+                    remaining[shard.key] = shard
+                    continue
+                outcome = ShardOutcome(
+                    shard=shard,
+                    payload=payload,
+                    duration_seconds=0.0,
+                    worker_pid=os.getpid(),
+                    regenerated=True,
+                )
+                outcomes[shard.key] = outcome
+                store.store(outcome)
+                obs_events.emit_checkpoint(shard.key, "store", regenerated=True)
+            else:
+                if cell.status == "failed":
+                    # About to re-execute: the old exhausted-budget marker
+                    # is stale evidence now.
+                    try:
+                        os.unlink(layout.failure_path(shard))
+                    except OSError:
+                        pass
+                remaining[shard.key] = shard
 
     abort_after = int(os.environ.get("REPRO_PARALLEL_ABORT_AFTER", "0") or "0")
     attempts: dict[str, int] = dict.fromkeys(remaining, 0)
@@ -503,10 +552,28 @@ def run_shards(
         obs_events.emit_retry(shard.key, attempts[shard.key], error)
         attempts[shard.key] += 1
         if attempts[shard.key] > max_retries:
+            if layout is not None:
+                # The durable evidence behind the campaign scanner's
+                # ``failed`` class: a later scan offers this cell for
+                # ``rerun --status failed`` instead of silently retrying.
+                atomic_write_json(
+                    layout.failure_path(shard),
+                    {
+                        "schema": campaign_mod.CAMPAIGN_SCHEMA,
+                        "shard": asdict(shard),
+                        "attempts": attempts[shard.key],
+                        "error": error,
+                        "ts": time.time(),
+                    },
+                )
             raise SweepExecutionError(
                 f"shard {shard.key} failed {attempts[shard.key]} times "
                 f"(max_retries={max_retries}); last error: {error}"
             )
+        # The shard goes back on this run's in-memory queue with its budget
+        # decremented — the same requeue-with-budget contract the on-disk
+        # campaign queue uses.
+        obs_events.emit_requeue(shard.key, attempts[shard.key], error)
 
     try:
         with obs.span(
@@ -605,6 +672,10 @@ def run_shards(
             registry.counter("parallel.shards_resumed").inc(
                 summary["shards"]["resumed"]
             )
+            if summary["shards"]["regenerated"]:
+                registry.counter("parallel.shards_regenerated").inc(
+                    summary["shards"]["regenerated"]
+                )
             registry.counter("parallel.retries").inc(summary["retries"])
             # Worker-process store activity never reaches parent counters on
             # its own; mirror the aggregated deltas here.
@@ -668,9 +739,10 @@ def _summarize(
                 "pid": outcome.worker_pid,
                 "retries": outcome.retries,
                 "from_checkpoint": outcome.from_checkpoint,
+                "regenerated": outcome.regenerated,
             }
         )
-        if not outcome.from_checkpoint:
+        if not outcome.from_checkpoint and not outcome.regenerated:
             worker = workers.setdefault(
                 str(outcome.worker_pid),
                 {"shards": 0, "seconds": 0.0, "trace_store": dict.fromkeys(STORE_STAT_KEYS, 0)},
@@ -685,6 +757,7 @@ def _summarize(
                 store_totals[key] += delta
                 result_totals[key] += outcome.result_store.get(key, 0)
     resumed = sum(1 for o in outcomes.values() if o.from_checkpoint)
+    regenerated = sum(1 for o in outcomes.values() if o.regenerated)
     specs = {
         f"{family}@{budget}": payload
         for (family, budget), payload in sorted(spec_payloads.items())
@@ -700,7 +773,8 @@ def _summarize(
         "shards": {
             "total": len(shards),
             "resumed": resumed,
-            "executed": len(outcomes) - resumed,
+            "regenerated": regenerated,
+            "executed": len(outcomes) - resumed - regenerated,
             "incomplete": len(shards) - len(outcomes),
         },
         "retries": len(failures),

@@ -44,6 +44,52 @@ def render_table(
     return "\n".join(lines)
 
 
+#: Column order of the unified classification table.  The five middle
+#: columns are the campaign classes ("results" is the short header for
+#: ``results_missing``).
+CLASSIFICATION_COLUMNS = (
+    "target",
+    "mode",
+    "cells",
+    "completed",
+    "results",
+    "failed",
+    "partial",
+    "missing",
+    "inferred",
+    "based on",
+)
+
+
+def render_classification(title: str, reports: Sequence[dict]) -> str:
+    """The shared dry-run classification table.
+
+    One renderer, two callers: ``repro-figures --dry-run`` (one row per
+    config target) and ``repro-campaign scan`` (one row per campaign).
+    Each report carries ``target``/``mode``/``cells`` plus ``counts``
+    keyed by the five campaign classes; ``inferred``/``based_on`` are
+    config-target concepts and default off for campaign rows.
+    """
+    rows = []
+    for report in reports:
+        counts = report.get("counts", {})
+        rows.append(
+            (
+                report["target"],
+                report["mode"],
+                report["cells"],
+                counts.get("completed", 0),
+                counts.get("results_missing", 0),
+                counts.get("failed", 0),
+                counts.get("partial", 0),
+                counts.get("missing", 0),
+                "yes" if report.get("inferred") else "no",
+                ",".join(report.get("based_on", [])) or "-",
+            )
+        )
+    return render_table(title, list(CLASSIFICATION_COLUMNS), rows)
+
+
 def render_series_table(
     title: str,
     x_label: str,

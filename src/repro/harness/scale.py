@@ -78,6 +78,20 @@ def benchmark_names() -> list[str]:
     return names
 
 
+def campaign_stale_seconds() -> float:
+    """Claim-staleness threshold (``REPRO_CAMPAIGN_STALE_SECONDS``)."""
+    from repro.harness.campaign import stale_seconds_default  # deferred: layering
+
+    return stale_seconds_default()
+
+
+def campaign_poll_seconds() -> float:
+    """Idle-worker poll interval (``REPRO_CAMPAIGN_POLL_SECONDS``)."""
+    from repro.harness.campaign import poll_seconds_default  # deferred: layering
+
+    return poll_seconds_default()
+
+
 def resolved_config() -> dict:
     """The fully-resolved experiment configuration as one dict.
 
@@ -100,6 +114,13 @@ def resolved_config() -> dict:
         "accuracy_instructions": accuracy_instructions(),
         "ipc_instructions": ipc_instructions(),
         "warmup_fraction": WARMUP_FRACTION,
+        # Campaign-orchestrator settings (claim staleness / poll cadence):
+        # they shape multi-worker scheduling, so a manifest records them.
+        "campaign": {
+            "run_dir": os.environ.get("REPRO_RUN_DIR", "").strip() or None,
+            "stale_seconds": campaign_stale_seconds(),
+            "poll_seconds": campaign_poll_seconds(),
+        },
         # The resolved predictor specs: which module registered each family
         # and the capability flags every consumer dispatched on.
         "families": {

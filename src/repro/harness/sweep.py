@@ -122,7 +122,10 @@ def accuracy_sweep(
         budgets=len(budgets),
         jobs=jobs,
     ):
-        if jobs > 1:
+        # Any run with a run directory goes through the planned-work
+        # executor (even serially, jobs=1): checkpoints, campaign
+        # classification, and selective rerun all live there now.
+        if jobs > 1 or run_dir is not None:
             from repro.harness.parallel import parallel_accuracy_sweep
 
             return parallel_accuracy_sweep(
@@ -308,7 +311,7 @@ def ipc_sweep(
         budgets=len(budgets),
         jobs=jobs,
     ):
-        if jobs > 1:
+        if jobs > 1 or run_dir is not None:
             from repro.harness.parallel import parallel_ipc_sweep
 
             return parallel_ipc_sweep(

@@ -299,13 +299,85 @@ def counter_totals(events: list[dict]) -> dict[str, int]:
         elif event == "run_summary":
             summary = record.get("summary") or {}
             shards = summary.get("shards") or {}
-            for key in ("executed", "resumed", "incomplete"):
+            for key in ("executed", "resumed", "regenerated", "incomplete"):
                 add(f"shards.{key}", shards.get(key, 0))
             add("retries", summary.get("retries", 0))
             for store in ("trace_store", "result_store"):
                 for op, value in (summary.get(store) or {}).items():
                     add(f"{store}.{op}", value)
     return dict(sorted(totals.items()))
+
+
+#: Per-worker cell counters a campaign worker reports in its run summary.
+_CAMPAIGN_CELL_KEYS = (
+    "cells_executed",
+    "cells_regenerated",
+    "claims",
+    "steals",
+    "requeues",
+    "failures",
+)
+
+
+def campaign_rollup(events: list[dict]) -> dict:
+    """Campaign telemetry rollup: classifications, claims, worker loads.
+
+    Consumes the campaign event types (``classify``/``claim``/``requeue``)
+    plus every ``campaign.worker`` run summary.  ``totals`` sums the
+    per-worker cell counters — on a correct campaign,
+    ``totals["cells_executed"]`` across all the campaign's worker logs
+    equals the number of planned executions exactly (the zero-duplication
+    invariant the CI drill asserts).  Claim/steal/requeue event counts are
+    tracked independently of the worker summaries, so a worker that
+    crashed before summarizing still leaves its claims visible.
+    """
+    classifications: list[dict] = []
+    claim_events = 0
+    steal_events = 0
+    requeue_events = 0
+    workers: dict[str, dict] = {}
+    for record in events:
+        event = record.get("event")
+        if event == "classify":
+            classifications.append(
+                {
+                    "label": str(record.get("label", "")),
+                    "counts": {
+                        str(k): int(v)
+                        for k, v in (record.get("counts") or {}).items()
+                    },
+                }
+            )
+        elif event == "claim":
+            claim_events += 1
+            if record.get("stolen"):
+                steal_events += 1
+        elif event == "requeue":
+            requeue_events += 1
+        elif event == "run_summary" and record.get("label") == "campaign.worker":
+            summary = record.get("summary") or {}
+            owner = str(summary.get("owner") or record.get("pid", "?"))
+            cells = summary.get("cells") or {}
+            entry = workers.setdefault(
+                owner,
+                {**dict.fromkeys(_CAMPAIGN_CELL_KEYS, 0), "status": ""},
+            )
+            for key in _CAMPAIGN_CELL_KEYS:
+                entry[key] += int(cells.get(key, 0))
+            entry["status"] = str(summary.get("status", ""))
+    totals = {
+        key: sum(entry[key] for entry in workers.values())
+        for key in _CAMPAIGN_CELL_KEYS
+    }
+    return {
+        "schema": AGGREGATE_SCHEMA,
+        "classifications": classifications,
+        "claim_events": claim_events,
+        "steal_events": steal_events,
+        "requeue_events": requeue_events,
+        "workers": dict(sorted(workers.items())),
+        "totals": totals,
+    }
 
 
 def aggregate_run(events: list[dict]) -> dict:

@@ -8,6 +8,7 @@ Usage::
     repro-stats flame run/events.jsonl
     repro-stats critical-path run/events.jsonl
     repro-stats stores run/events.jsonl
+    repro-stats campaign run/worker1.jsonl run/worker2.jsonl
     repro-stats regress run/events.jsonl --baseline results/obs_baseline.json
 
 ``show`` prints a manifest's configuration, environment, per-phase wall
@@ -37,6 +38,7 @@ from repro.obs.aggregate import (
     aggregate_run,
     baseline_snapshot,
     build_span_tree,
+    campaign_rollup,
     regress,
 )
 from repro.obs.events import read_run_events
@@ -234,6 +236,76 @@ def render_stores(stores: dict[str, dict]) -> str:
     )
 
 
+def render_campaign(rollup: dict) -> str:
+    """Campaign rollup as aligned tables (classifications + worker loads)."""
+    from repro.harness.report import render_table
+
+    sections = []
+    class_rows = [
+        (
+            entry["label"] or "-",
+            sum(entry["counts"].values()),
+            entry["counts"].get("completed", 0),
+            entry["counts"].get("results_missing", 0),
+            entry["counts"].get("failed", 0),
+            entry["counts"].get("partial", 0),
+            entry["counts"].get("missing", 0),
+        )
+        for entry in rollup.get("classifications", [])
+    ]
+    if class_rows:
+        sections.append(
+            render_table(
+                "Campaign classifications (one row per scan)",
+                ["label", "cells", "completed", "results", "failed", "partial", "missing"],
+                class_rows,
+            )
+        )
+    worker_rows = [
+        (
+            owner,
+            entry.get("status") or "-",
+            entry["cells_executed"],
+            entry["cells_regenerated"],
+            entry["claims"],
+            entry["steals"],
+            entry["requeues"],
+            entry["failures"],
+        )
+        for owner, entry in rollup.get("workers", {}).items()
+    ]
+    totals = rollup.get("totals", {})
+    if worker_rows:
+        worker_rows.append(
+            (
+                "TOTAL",
+                "-",
+                totals.get("cells_executed", 0),
+                totals.get("cells_regenerated", 0),
+                totals.get("claims", 0),
+                totals.get("steals", 0),
+                totals.get("requeues", 0),
+                totals.get("failures", 0),
+            )
+        )
+        sections.append(
+            render_table(
+                "Campaign workers",
+                ["owner", "status", "executed", "regenerated", "claims", "steals",
+                 "requeues", "failures"],
+                worker_rows,
+            )
+        )
+    sections.append(
+        f"claim events: {rollup.get('claim_events', 0)}"
+        f"  steals: {rollup.get('steal_events', 0)}"
+        f"  requeues: {rollup.get('requeue_events', 0)}"
+    )
+    if not class_rows and not worker_rows:
+        return "No campaign events in event log(s)."
+    return "\n\n".join(sections)
+
+
 def render_regress(violations: list[dict], threshold: float) -> str:
     """Regression verdict as one aligned table."""
     from repro.harness.report import render_table
@@ -282,6 +354,16 @@ def main(argv: list[str] | None = None) -> int:
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("events", help="JSONL event log (REPRO_LOG path)")
         sub.add_argument("--json", action="store_true", help="emit JSON instead")
+    camp = subparsers.add_parser(
+        "campaign",
+        help="campaign rollup: classifications, claims/steals, worker loads",
+    )
+    camp.add_argument(
+        "events",
+        nargs="+",
+        help="one or more JSONL event logs (e.g. every worker's REPRO_LOG)",
+    )
+    camp.add_argument("--json", action="store_true", help="emit JSON instead")
     reg = subparsers.add_parser(
         "regress", help="gate a run's timings/counters against a baseline"
     )
@@ -317,6 +399,19 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(render_diff(rows))
         print()
+        return 0
+
+    if args.command == "campaign":
+        # A campaign's trail is spread over every worker's log; merge them.
+        events = []
+        for path in args.events:
+            events.extend(read_run_events(path))
+        events.sort(key=lambda r: r.get("ts", 0.0))
+        rollup = campaign_rollup(events)
+        if args.json:
+            print(json.dumps(rollup, indent=2, sort_keys=True))
+        else:
+            print(render_campaign(rollup))
         return 0
 
     events = read_run_events(args.events)

@@ -30,10 +30,22 @@ unix time, and ``pid`` = the emitting process):
 ``checkpoint``
     A shard checkpoint written (``action: "store"``) or reused on resume
     (``action: "load"``).
+``classify``
+    One campaign scan: ``{"counts": {status: n}, "label": ...}`` — the
+    per-class cell totals the campaign scanner derived from a run
+    directory (completed / results_missing / failed / partial / missing).
+``claim``
+    One work-queue claim: ``{"shard", "owner", "stolen"}``.  ``stolen``
+    is true when the claim displaced a stale claim left by a dead worker
+    (the work-stealing path).
+``requeue``
+    One failed campaign work unit going back on the queue with its
+    attempt budget decremented (``shard``, ``attempt``, ``error``).
 ``run_summary``
-    The parallel executor's end-of-run summary (shard counts, retries,
-    store totals, per-worker loads) — the authoritative source for the
-    deterministic counters the regression gate compares.
+    The parallel executor's (or a campaign worker's) end-of-run summary
+    (shard counts, retries, store totals, per-worker loads) — the
+    authoritative source for the deterministic counters the regression
+    gate compares.
 
 All emit helpers no-op when no event sink is active, so the disabled
 path stays free.
@@ -45,8 +57,10 @@ import json
 import os
 from collections.abc import Mapping
 
-#: Bumped when the JSONL event layout changes incompatibly.
-EVENT_SCHEMA = 1
+#: Bumped when the JSONL event layout changes incompatibly.  Schema 2
+#: adds the campaign-orchestrator types (classify/claim/requeue); all
+#: schema-1 records remain valid schema-2 records.
+EVENT_SCHEMA = 2
 
 #: Every event type this schema version defines.
 EVENT_TYPES = (
@@ -56,6 +70,9 @@ EVENT_TYPES = (
     "store",
     "retry",
     "checkpoint",
+    "classify",
+    "claim",
+    "requeue",
     "run_summary",
 )
 
@@ -70,6 +87,9 @@ _REQUIRED = {
     "store": ("store", "op"),
     "retry": ("shard", "attempt"),
     "checkpoint": ("shard", "action"),
+    "classify": ("counts",),
+    "claim": ("shard", "owner"),
+    "requeue": ("shard", "attempt"),
     "run_summary": ("label", "summary"),
 }
 
@@ -103,6 +123,21 @@ def emit_retry(shard: str, attempt: int, error: str) -> None:
 def emit_checkpoint(shard: str, action: str, **fields: object) -> None:
     """Emit a shard checkpoint event (``action``: ``store`` or ``load``)."""
     _emit("checkpoint", shard=shard, action=action, **fields)
+
+
+def emit_classify(counts: Mapping[str, int], label: str = "") -> None:
+    """Emit one campaign-scan classification (per-class cell counts)."""
+    _emit("classify", counts={k: int(v) for k, v in counts.items()}, label=label)
+
+
+def emit_claim(shard: str, owner: str, stolen: bool = False) -> None:
+    """Emit one work-queue claim (``stolen`` marks a work-stealing claim)."""
+    _emit("claim", shard=shard, owner=owner, stolen=bool(stolen))
+
+
+def emit_requeue(shard: str, attempt: int, error: str) -> None:
+    """Emit one failed campaign work unit going back on the queue."""
+    _emit("requeue", shard=shard, attempt=attempt, error=error)
 
 
 def emit_run_summary(label: str, summary: Mapping) -> None:

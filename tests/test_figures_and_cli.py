@@ -195,18 +195,29 @@ class TestCli:
 
 
 def parse_dry_run(output: str) -> dict[str, dict]:
-    """The --dry-run table as {target: {mode, cells, hit, miss, inferred}}."""
+    """The --dry-run classification table as {target: {mode, cells, ...}}.
+
+    Columns follow ``report.CLASSIFICATION_COLUMNS``; ``hit``/``miss`` are
+    derived the way the planner groups the five classes (hit = nothing to
+    execute, miss = must run).
+    """
     rows = {}
     for line in output.splitlines():
         parts = line.split()
-        if len(parts) >= 7 and parts[1] in ("runner", "sweep", "inferred"):
-            rows[parts[0]] = {
+        if len(parts) >= 10 and parts[1] in ("runner", "sweep", "inferred"):
+            row = {
                 "mode": parts[1],
                 "cells": int(parts[2]),
-                "hit": int(parts[3]),
-                "miss": int(parts[4]),
-                "inferred": parts[5] == "yes",
+                "completed": int(parts[3]),
+                "results_missing": int(parts[4]),
+                "failed": int(parts[5]),
+                "partial": int(parts[6]),
+                "missing": int(parts[7]),
+                "inferred": parts[8] == "yes",
             }
+            row["hit"] = row["completed"] + row["results_missing"]
+            row["miss"] = row["failed"] + row["partial"] + row["missing"]
+            rows[parts[0]] = row
     return rows
 
 
@@ -303,10 +314,11 @@ class TestConfigTargets:
         ]
         assert main(args) == 0
         rows = parse_dry_run(capsys.readouterr().out)
-        assert rows["figure1"] == {
-            "mode": "runner", "cells": self.FIGURE1_CELLS,
-            "hit": self.FIGURE1_CELLS, "miss": 0, "inferred": False,
-        }
+        figure1 = rows["figure1"]
+        assert figure1["mode"] == "runner"
+        assert figure1["cells"] == self.FIGURE1_CELLS
+        assert figure1["hit"] == self.FIGURE1_CELLS and figure1["miss"] == 0
+        assert figure1["inferred"] is False
         assert rows["figure1_inferred"]["inferred"] is True
         assert rows["figure1_inferred"]["hit"] == self.FIGURE1_CELLS
         assert registry.build_count() == 0  # classification executes nothing

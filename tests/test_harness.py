@@ -146,8 +146,11 @@ class TestScale:
             "accuracy_instructions",
             "ipc_instructions",
             "warmup_fraction",
+            "campaign",
             "families",
         }
+        assert set(config["campaign"]) == {"run_dir", "stale_seconds", "poll_seconds"}
+        assert config["campaign"]["stale_seconds"] == 600.0
         from repro.predictors import registry
 
         assert sorted(config["families"]) == registry.family_names()

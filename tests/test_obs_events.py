@@ -42,6 +42,37 @@ class TestEmitHelpers:
         for record in records:
             assert events.validate_event(record) == []
 
+    def test_campaign_events_validate(self, log_file):
+        """The campaign-orchestrator event types introduced by schema v2."""
+        events.emit_classify({"completed": 3, "missing": 1}, label="scan")
+        events.emit_claim("accuracy__gcc__gshare__2048", "worker-1")
+        events.emit_claim("accuracy__eon__gshare__2048", "worker-2", stolen=True)
+        events.emit_requeue("accuracy__gcc__gshare__2048", 1, "RuntimeError: boom")
+        records = read_events(log_file)
+        assert [r["event"] for r in records] == [
+            "classify", "claim", "claim", "requeue",
+        ]
+        for record in records:
+            assert events.validate_event(record) == []
+        assert records[0]["counts"] == {"completed": 3, "missing": 1}
+        assert records[1]["stolen"] is False
+        assert records[2]["stolen"] is True
+        assert records[3]["attempt"] == 1
+
+    def test_campaign_events_require_type_fields(self):
+        common = {"ts": 1.0, "pid": 1}
+        assert any(
+            "counts" in p
+            for p in events.validate_event({"event": "classify", **common})
+        )
+        assert any(
+            "owner" in p for p in events.validate_event({"event": "claim", **common})
+        )
+        assert any(
+            "attempt" in p
+            for p in events.validate_event({"event": "requeue", **common})
+        )
+
     def test_counter_drops_zero_deltas(self, log_file):
         events.emit_counter({"a": 0, "b": 2})
         (record,) = read_events(log_file)

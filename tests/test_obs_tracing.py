@@ -9,6 +9,7 @@ import os
 import pytest
 
 from repro import obs
+from repro.obs import events
 
 
 @pytest.fixture
@@ -105,7 +106,7 @@ class TestSpan:
         assert event["target"] == "figure1"
         assert "ts" in event
         assert event["pid"] == os.getpid()
-        assert event["v"] == 1
+        assert event["v"] == events.EVENT_SCHEMA
 
 
 class TestSpanContext:

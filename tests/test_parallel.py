@@ -142,7 +142,7 @@ def test_parallel_sweep_writes_run_manifest(tmp_path):
     manifest = json.loads((run_dir / "manifest.json").read_text())
     assert manifest["status"] == "completed"
     assert manifest["shards"] == {
-        "total": 4, "resumed": 0, "executed": 4, "incomplete": 0,
+        "total": 4, "resumed": 0, "regenerated": 0, "executed": 4, "incomplete": 0,
     }
     assert manifest["retries"] == 0 and manifest["failures"] == []
     assert len(manifest["shard_timings"]) == 4
@@ -376,6 +376,37 @@ class TestCheckpointAtomicity:
         assert report["shards"]["resumed"] == 0  # nothing was trusted
         assert report["shards"]["executed"] == 4
         assert cells == accuracy_sweep(**SWEEP_KWARGS, jobs=1)
+
+    def test_torn_checkpoint_classifies_partial_and_reexecutes(self, tmp_path):
+        """Fault injection: a checkpoint whose writer died mid-write (torn
+        JSON under the final name, or only a staging sibling) must classify
+        as ``partial`` — never ``completed`` — and the shard re-executes."""
+        from repro.harness.campaign import CampaignLayout, classify_shard
+
+        run_dir = tmp_path / "run"
+        shard_dir = run_dir / "shards"
+        shard_dir.mkdir(parents=True)
+        layout = CampaignLayout(str(run_dir))
+        grid = accuracy_shard_grid(FAMILIES, BUDGETS, BENCHMARKS)
+        torn_final, torn_staging = grid[0], grid[1]
+        # Torn JSON under the *final* checkpoint name...
+        (shard_dir / f"{torn_final.key}.json").write_text('{"schema": 1, "payl')
+        # ...and a shard that only ever got as far as its staging file.
+        (shard_dir / f"{torn_staging.key}.json.tmp.4242").write_text("{")
+        assert classify_shard(torn_final, layout=layout) == "partial"
+        assert classify_shard(torn_staging, layout=layout) == "partial"
+
+        cells = parallel_accuracy_sweep(
+            **SWEEP_KWARGS, engine=None, jobs=1, run_dir=str(run_dir)
+        )
+        report = drain_run_reports()[-1]
+        assert report["status"] == "completed"
+        assert report["shards"]["resumed"] == 0  # the torn shard was not trusted
+        assert report["shards"]["executed"] == 4
+        assert cells == accuracy_sweep(**SWEEP_KWARGS, jobs=1)
+        # The re-executed checkpoints are whole again.
+        for shard in (torn_final, torn_staging):
+            assert classify_shard(shard, layout=layout) == "completed"
 
 
 # -- trace cache ---------------------------------------------------------------

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-from repro.harness.report import format_budget, render_series_table, render_table
+from repro.harness.report import (
+    CLASSIFICATION_COLUMNS,
+    format_budget,
+    render_classification,
+    render_series_table,
+    render_table,
+)
 
 
 class TestFormatBudget:
@@ -65,6 +71,62 @@ class TestRenderTableEdgeCases:
             "    1K  4.52\n"
             "   64K  2.31"
         )
+
+
+class TestRenderClassification:
+    """The shared dry-run/scan table: one renderer, two callers."""
+
+    def test_config_target_row(self):
+        text = render_classification(
+            "Dry run",
+            [
+                {
+                    "target": "figure1",
+                    "mode": "runner",
+                    "cells": 72,
+                    "counts": {"completed": 70, "missing": 2},
+                    "inferred": False,
+                    "based_on": [],
+                }
+            ],
+        )
+        lines = text.splitlines()
+        assert lines[2].split() == [
+            "target", "mode", "cells", "completed", "results", "failed",
+            "partial", "missing", "inferred", "based", "on",
+        ]
+        row = lines[4].split()
+        assert row == ["figure1", "runner", "72", "70", "0", "0", "0", "2", "no", "-"]
+
+    def test_campaign_row_defaults_and_based_on(self):
+        """Campaign rows omit inferred/based_on; inferred targets list
+        their base configs comma-joined."""
+        text = render_classification(
+            "Scan",
+            [
+                {"target": "run", "mode": "campaign", "cells": 8, "counts": {}},
+                {
+                    "target": "f1i",
+                    "mode": "inferred",
+                    "cells": 4,
+                    "counts": {"results_missing": 1, "failed": 1, "partial": 2},
+                    "inferred": True,
+                    "based_on": ["figure1", "figure5"],
+                },
+            ],
+        )
+        campaign_row, inferred_row = text.splitlines()[4:6]
+        assert campaign_row.split() == ["run", "campaign", "8", "0", "0", "0", "0", "0", "no", "-"]
+        assert inferred_row.split() == [
+            "f1i", "inferred", "4", "0", "1", "1", "2", "0", "yes", "figure1,figure5",
+        ]
+
+    def test_columns_cover_all_campaign_classes(self):
+        from repro.harness.campaign import CLASSES
+
+        short = {"results_missing": "results"}
+        for cls in CLASSES:
+            assert short.get(cls, cls) in CLASSIFICATION_COLUMNS
 
 
 class TestRenderSeriesTable:
