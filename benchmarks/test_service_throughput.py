@@ -1,0 +1,99 @@
+"""Cached-fetch throughput of the prediction service daemon.
+
+Gated behind pytest-benchmark's opt-in flag::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_service_throughput.py --benchmark-enable
+
+Pins the serving-layer performance claim: with one tiny figure job
+completed, the daemon answers >= 10k ``GET /v1/results/<digest>``
+requests per second over loopback keep-alive connections with pipelining,
+with **zero predictor builds** during the load phase (tracing proves the
+fetches never left the content-addressed fast path), and reports p50/p95/
+p99 latency.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The gate: cached fetches per second the daemon must sustain.
+THROUGHPUT_FLOOR = 10_000
+
+
+@pytest.fixture(autouse=True)
+def require_benchmarks(request):
+    if not request.config.getoption("--benchmark-enable"):
+        pytest.skip("service throughput suite runs only with --benchmark-enable")
+
+
+@pytest.fixture
+def service_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+    monkeypatch.setenv("REPRO_BENCHMARKS", "gcc")
+    monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "results"))
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    return tmp_path
+
+
+def test_cached_fetch_throughput(service_env, tmp_path):
+    from repro.predictors.registry import build_count
+    from repro.service.config import ServiceConfig
+    from tests.service_helpers import DaemonHarness, mini_spec
+
+    config = ServiceConfig(data_dir=str(tmp_path / "svc"), workers=1)
+    with DaemonHarness(config) as harness:
+        code, doc = harness.request_json("POST", "/v1/jobs", mini_spec())
+        assert code in (200, 202)
+        status = harness.wait_settled(doc["job_id"])
+        assert status["state"] == "completed"
+        digest = status["figure_digest"]
+
+        builds_before = build_count()
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "service_loadtest.py"),
+                "--port",
+                str(harness.port),
+                "--path",
+                f"/v1/results/{digest}",
+                "--connections",
+                "4",
+                "--pipeline",
+                "16",
+                "--duration",
+                "5",
+                "--floor",
+                str(THROUGHPUT_FLOOR),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        elapsed = time.perf_counter() - started
+        assert proc.returncode == 0, f"loadtest failed:\n{proc.stdout}\n{proc.stderr}"
+        report = json.loads(proc.stdout)
+        builds_after = build_count()
+
+    print()
+    print(
+        f"cached fetches: {report['requests']} in {report['seconds']:.2f}s "
+        f"= {report['requests_per_second']:.0f} req/s "
+        f"(p50 {report['p50_ms']:.2f}ms, p95 {report['p95_ms']:.2f}ms, "
+        f"p99 {report['p99_ms']:.2f}ms; loadtest wall {elapsed:.2f}s)"
+    )
+    assert report["requests_per_second"] >= THROUGHPUT_FLOOR
+    assert report["errors"] == 0
+    # Zero predictor work during the load phase: every response came from
+    # the content-addressed stores, never a recompute.
+    assert builds_after == builds_before

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Asyncio load generator for the prediction service.
+
+Hammers one endpoint (by default a content-addressed ``/v1/results/<digest>``
+fetch — the cache-hit fast path) over N keep-alive connections with
+pipelined requests, and reports throughput plus latency percentiles::
+
+    PYTHONPATH=src python scripts/service_loadtest.py \
+        --host 127.0.0.1 --port 8321 --path /v1/results/<digest> \
+        --connections 4 --pipeline 16 --duration 5 --floor 10000
+
+``--floor`` turns the run into a gate: exit status 2 when requests/sec
+lands below it.  ``--report-out`` writes the JSON report for CI upload.
+Latency is measured per pipelined batch from write to each response's
+arrival, so percentiles reflect what a real pipelining client observes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+HEAD_END = b"\r\n\r\n"
+
+
+async def _read_response(reader: asyncio.StreamReader) -> int:
+    head = await reader.readuntil(HEAD_END)
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+            break
+    if length:
+        await reader.readexactly(length)
+    return status
+
+
+async def _client(
+    host: str,
+    port: int,
+    path: str,
+    deadline: float,
+    pipeline: int,
+    latencies: list[float],
+    errors: list[int],
+) -> int:
+    reader, writer = await asyncio.open_connection(host, port)
+    request = (
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: keep-alive\r\n\r\n"
+    ).encode()
+    batch = request * pipeline
+    served = 0
+    try:
+        while time.perf_counter() < deadline:
+            started = time.perf_counter()
+            writer.write(batch)
+            await writer.drain()
+            for _ in range(pipeline):
+                status = await _read_response(reader)
+                latencies.append(time.perf_counter() - started)
+                if status != 200:
+                    errors.append(status)
+                served += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return served
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def run_load(
+    host: str, port: int, path: str, connections: int, pipeline: int, duration: float
+) -> dict:
+    """Drive the endpoint for ``duration`` seconds; returns the report."""
+    latencies: list[float] = []
+    errors: list[int] = []
+    started = time.perf_counter()
+    deadline = started + duration
+    totals = await asyncio.gather(
+        *(
+            _client(host, port, path, deadline, pipeline, latencies, errors)
+            for _ in range(connections)
+        )
+    )
+    elapsed = time.perf_counter() - started
+    requests = sum(totals)
+    latencies.sort()
+    return {
+        "path": path,
+        "connections": connections,
+        "pipeline": pipeline,
+        "requests": requests,
+        "seconds": elapsed,
+        "requests_per_second": requests / elapsed if elapsed else 0.0,
+        "errors": len(errors),
+        "p50_ms": 1000 * _percentile(latencies, 0.50),
+        "p95_ms": 1000 * _percentile(latencies, 0.95),
+        "p99_ms": 1000 * _percentile(latencies, 0.99),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--path",
+        required=True,
+        help="endpoint to hammer, e.g. /v1/results/<digest> or /healthz",
+    )
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--pipeline", type=int, default=16)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.0,
+        help="minimum requests/sec; below it the run exits 2",
+    )
+    parser.add_argument("--report-out", default="", help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    report = asyncio.run(
+        run_load(
+            args.host, args.port, args.path, args.connections, args.pipeline,
+            args.duration,
+        )
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if report["errors"]:
+        print(f"FAIL: {report['errors']} non-200 responses", file=sys.stderr)
+        return 1
+    if args.floor and report["requests_per_second"] < args.floor:
+        print(
+            f"FAIL: {report['requests_per_second']:.0f} req/s below the "
+            f"{args.floor:.0f} req/s floor",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

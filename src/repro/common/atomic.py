@@ -5,7 +5,7 @@ either the old file or the complete new one, never a torn write.
 Everything in this repo that persists state another process may read
 concurrently — trace-store entries, parallel-sweep shard checkpoints, run
 manifests — funnels through these helpers, so a writer killed mid-write
-can only leave a ``*.tmp.<pid>`` dropping behind, never a truncated
+can only leave a ``*.tmp.<pid>.<tid>`` dropping behind, never a truncated
 artifact under the final name.
 """
 
@@ -13,20 +13,28 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
+
+
+def _staging_name(path: str) -> str:
+    """A collision-free staging sibling: PID for cross-process writers,
+    thread id for concurrent writers inside one process (the service
+    daemon's worker threads write job state from several threads)."""
+    return f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
 
 
 @contextmanager
 def atomic_path(path: str | os.PathLike) -> Iterator[str]:
     """Yield a temporary sibling of ``path``; rename it into place on success.
 
-    The temporary name embeds the writer's PID so concurrent writers of the
-    same file never collide on the staging name.  On any error the staged
-    file is removed and the final path is left untouched.
+    The temporary name embeds the writer's PID and thread id so concurrent
+    writers of the same file never collide on the staging name.  On any
+    error the staged file is removed and the final path is left untouched.
     """
     path = os.fspath(path)
-    tmp = f"{path}.tmp.{os.getpid()}"
+    tmp = _staging_name(path)
     try:
         yield tmp
         os.replace(tmp, path)
@@ -61,7 +69,7 @@ def exclusive_create_json(path: str | os.PathLike, data: dict) -> bool:
     fallback — same exclusivity, weaker content atomicity.
     """
     path = os.fspath(path)
-    tmp = f"{path}.tmp.{os.getpid()}"
+    tmp = _staging_name(path)
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -71,6 +71,7 @@ import json
 import os
 import socket
 import time
+from collections.abc import Callable
 from dataclasses import asdict, dataclass
 
 from repro import obs
@@ -626,6 +627,7 @@ def run_worker(
     stale_seconds: float | None = None,
     poll_seconds: float | None = None,
     max_retries: int | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> dict:
     """Pull work units from the campaign queue until it drains.
 
@@ -633,6 +635,12 @@ def run_worker(
     against the same run directory (locally or across machines sharing
     it); the claim protocol guarantees each cell executes exactly once
     barring crashes, and crash recovery is a rescan away.
+
+    ``should_stop`` is polled between cells (never mid-cell): when it goes
+    truthy the worker finishes the cell it holds, releases its claim, and
+    returns with summary status ``"stopped"`` — the graceful-drain hook the
+    prediction service's SIGTERM path uses.  A stopped worker leaves the
+    queue intact; rescanning and rerunning later re-converges.
 
     Returns (and emits as a ``campaign.worker`` run summary) this worker's
     counters: ``cells_executed``, ``cells_regenerated``, ``claims``,
@@ -668,12 +676,16 @@ def run_worker(
             # would install a process-global ambient parent that outlives
             # this call.
             trace_ctx = None
-            while True:
+            stopped = False
+            while not stopped:
                 keys = queue.keys()
                 if not keys:
                     break
                 progressed = False
                 for key in keys:
+                    if should_stop is not None and should_stop():
+                        stopped = True
+                        break
                     claim = queue.try_claim(key, owner, stale_seconds)
                     if claim is None:
                         continue
@@ -699,10 +711,12 @@ def run_worker(
                         abort_after,
                     )
                     queue.release(key)
-                if not progressed and queue.keys():
+                if not stopped and not progressed and queue.keys():
                     # Everything outstanding is claimed by live workers;
                     # wait for them to finish, fail, or go stale.
                     time.sleep(poll_seconds)
+            if stopped:
+                status = "stopped"
     except BaseException:
         status = "aborted"
         raise

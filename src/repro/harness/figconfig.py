@@ -163,6 +163,13 @@ def load_config(path: str) -> TargetConfig:
         raise ConfigurationError(f"cannot read config {path}: {exc}") from None
     except json.JSONDecodeError as exc:
         raise ConfigurationError(f"config {path} is not valid JSON: {exc}") from None
+    return parse_config(data, path)
+
+
+def parse_config(data: object, path: str = "<memory>") -> TargetConfig:
+    """Validate one already-parsed config document (the prediction service
+    submits these over the wire, so validation must not require a file);
+    ``path`` labels diagnostics.  Raises ConfigurationError."""
     if not isinstance(data, dict):
         raise ConfigurationError(f"config {path}: top level must be an object")
     if data.get("schema") != CONFIG_SCHEMA:

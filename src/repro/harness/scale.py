@@ -102,6 +102,7 @@ def resolved_config() -> dict:
     from repro.harness.experiment import default_engine, default_jobs  # deferred: layering
     from repro.harness.resultstore import result_store_path  # deferred: layering
     from repro.predictors import registry  # deferred: layering
+    from repro.service.config import service_env_summary  # deferred: layering
     from repro.workloads.store import store_path  # deferred: layering
 
     return {
@@ -134,6 +135,9 @@ def resolved_config() -> dict:
             }
             for spec in registry.specs()
         },
+        # Serving-layer knobs (queue bound, timeouts, worker pool): the
+        # daemon's manifest-visible configuration.
+        "service": service_env_summary(),
     }
 
 

@@ -9,6 +9,7 @@ Usage::
     repro-stats critical-path run/events.jsonl
     repro-stats stores run/events.jsonl
     repro-stats campaign run/worker1.jsonl run/worker2.jsonl
+    repro-stats service service-data/events.jsonl
     repro-stats regress run/events.jsonl --baseline results/obs_baseline.json
 
 ``show`` prints a manifest's configuration, environment, per-phase wall
@@ -40,6 +41,7 @@ from repro.obs.aggregate import (
     build_span_tree,
     campaign_rollup,
     regress,
+    service_rollup,
 )
 from repro.obs.events import read_run_events
 from repro.obs.manifest import diff_manifests, load_manifest
@@ -306,6 +308,54 @@ def render_campaign(rollup: dict) -> str:
     return "\n\n".join(sections)
 
 
+def render_service(rollup: dict) -> str:
+    """Service rollup as aligned tables (per-route latencies + lifecycle)."""
+    from repro.harness.report import render_table
+
+    sections = []
+    span_rows = [
+        (
+            name,
+            entry["count"],
+            f"{entry['total_seconds']:.3f}",
+            f"{entry['total_seconds'] / entry['count']:.4f}" if entry["count"] else "-",
+            f"{entry['max_seconds']:.4f}",
+        )
+        for name, entry in rollup.get("spans", {}).items()
+    ]
+    if span_rows:
+        sections.append(
+            render_table(
+                "Service spans",
+                ["span", "count", "total_s", "mean_s", "max_s"],
+                span_rows,
+            )
+        )
+    request_rows = [
+        (
+            key,
+            entry["count"],
+            f"{entry['total_seconds'] / entry['count']:.4f}" if entry["count"] else "-",
+            f"{entry['max_seconds']:.4f}",
+        )
+        for key, entry in rollup.get("requests", {}).items()
+    ]
+    if request_rows:
+        sections.append(
+            render_table(
+                "Requests by route",
+                ["route", "count", "mean_s", "max_s"],
+                request_rows,
+            )
+        )
+    sections.append(
+        f"daemon starts: {rollup.get('starts', 0)}  stops: {rollup.get('stops', 0)}"
+    )
+    if not span_rows and not request_rows:
+        return "No service events in event log(s)."
+    return "\n\n".join(sections)
+
+
 def render_regress(violations: list[dict], threshold: float) -> str:
     """Regression verdict as one aligned table."""
     from repro.harness.report import render_table
@@ -364,6 +414,16 @@ def main(argv: list[str] | None = None) -> int:
         help="one or more JSONL event logs (e.g. every worker's REPRO_LOG)",
     )
     camp.add_argument("--json", action="store_true", help="emit JSON instead")
+    serv = subparsers.add_parser(
+        "service",
+        help="serving-layer rollup: per-route latencies, renders, lifecycle",
+    )
+    serv.add_argument(
+        "events",
+        nargs="+",
+        help="one or more JSONL event logs (the daemon's REPRO_LOG + sidecars)",
+    )
+    serv.add_argument("--json", action="store_true", help="emit JSON instead")
     reg = subparsers.add_parser(
         "regress", help="gate a run's timings/counters against a baseline"
     )
@@ -399,6 +459,18 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(render_diff(rows))
         print()
+        return 0
+
+    if args.command == "service":
+        events = []
+        for path in args.events:
+            events.extend(read_run_events(path))
+        events.sort(key=lambda r: r.get("ts", 0.0))
+        rollup = service_rollup(events)
+        if args.json:
+            print(json.dumps(rollup, indent=2, sort_keys=True))
+        else:
+            print(render_service(rollup))
         return 0
 
     if args.command == "campaign":

@@ -37,6 +37,7 @@ import json
 import os
 import secrets
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -53,9 +54,27 @@ DEFAULT_REGISTRY = MetricsRegistry()
 LOG_OWNER_ENV = "REPRO_LOG_OWNER_PID"
 
 _verbose: bool | None = None
-_stack: list["ActiveSpan"] = []
-#: Remote parent context adopted by worker processes (None in the parent).
-_ambient: dict | None = None
+
+
+class _ThreadState(threading.local):
+    """Per-thread span stack and adopted ambient parent context.
+
+    The stack must be thread-local: the prediction service opens request
+    spans on its event-loop thread while campaign worker threads open
+    shard spans concurrently, and a shared stack would interleave their
+    parenting (and pop each other's handles).  Single-threaded processes —
+    every pre-service consumer — see identical behaviour, and forked /
+    spawned pool workers adopt their remote context on their own main
+    thread as before.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list["ActiveSpan"] = []
+        #: Remote parent context adopted from another process or thread.
+        self.ambient: dict | None = None
+
+
+_state = _ThreadState()
 #: trace_id of the most recently opened span (run manifests record it).
 _last_trace_id: str | None = None
 
@@ -102,27 +121,28 @@ def current_context() -> dict | None:
     context it adopted from its parent.  This is exactly the payload to
     ship across a process boundary and hand to :func:`adopt_context`.
     """
-    if _stack:
-        top = _stack[-1]
+    if _state.stack:
+        top = _state.stack[-1]
         return {"trace_id": top.trace_id, "span_id": top.span_id}
-    if _ambient is not None:
-        return dict(_ambient)
+    if _state.ambient is not None:
+        return dict(_state.ambient)
     return None
 
 
 def adopt_context(context: dict | None) -> None:
     """Adopt a remote parent span context (worker side).
 
-    Until cleared (``adopt_context(None)``), spans opened in this process
+    Until cleared (``adopt_context(None)``), spans opened in this *thread*
     with no local parent attach to the adopted ``span_id`` and share its
     ``trace_id`` — the mechanism that parents worker shard spans to the
-    run span living in another process.
+    run span living in another process (or, for the prediction service's
+    in-process worker threads, to the submitting request's span in the
+    event-loop thread).
     """
-    global _ambient
     if context is None:
-        _ambient = None
+        _state.ambient = None
     else:
-        _ambient = {
+        _state.ambient = {
             "trace_id": str(context.get("trace_id", "")),
             "span_id": context.get("span_id"),
         }
@@ -220,7 +240,7 @@ def span(name: str, **attrs: object):
     parent = current_context()
     handle = ActiveSpan(
         name=name,
-        depth=len(_stack),
+        depth=len(_state.stack),
         attrs=dict(attrs),
         trace_id=parent["trace_id"] if parent else _new_id(),
         span_id=_new_id(),
@@ -228,7 +248,7 @@ def span(name: str, **attrs: object):
         start_unix=time.time(),
     )
     _last_trace_id = handle.trace_id
-    _stack.append(handle)
+    _state.stack.append(handle)
     if verbose():
         print(f"[obs] {'  ' * handle.depth}> {name}", file=sys.stderr)
     log_event(
@@ -244,7 +264,7 @@ def span(name: str, **attrs: object):
         yield handle
     finally:
         duration = time.perf_counter() - start
-        _stack.pop()
+        _state.stack.pop()
         if enabled():
             DEFAULT_REGISTRY.timer(f"span.{name}").observe(duration)
         log_event(

@@ -1,0 +1,40 @@
+"""Prediction-as-a-service: an asyncio HTTP/JSON daemon over the stores.
+
+The ROADMAP's north star is a production-scale system serving heavy
+traffic; this package is the serving layer.  ``repro-serve`` runs a
+long-lived single-process daemon (stdlib asyncio streams — no new runtime
+dependencies) that answers:
+
+* ``POST /v1/jobs`` — submit a figure-config spec (the same JSON documents
+  ``repro-figures --config`` consumes); the response carries a
+  content-addressed job id derived from the spec *and* the resolved sweep
+  configuration, so two clients submitting the same question share one job.
+* ``GET /v1/jobs/<id>[?wait=S]`` — poll (or long-poll) job status, backed
+  by the campaign scanner's five-class cell classification.
+* ``GET /v1/jobs/<id>/figure`` / ``.../manifest`` — the rendered figure
+  text (byte-identical to ``repro-figures --config``) and its run
+  manifest, both content-addressed blobs.
+* ``GET /v1/results/<digest>`` — any blob by digest: the microsecond
+  cache-hit fast path the load generator hammers.
+* ``GET /v1/attribution/<benchmark>/<family>/<budget>`` — per-branch
+  misprediction attribution, memoized under the accuracy cell's content
+  key.
+* ``GET /healthz`` and ``GET /metrics`` — liveness and the full obs
+  counter registry (plus store and service statistics).
+
+Misses become campaigns: a submitted spec's grids are pinned as a
+:mod:`repro.harness.campaign` in the job's run directory, planned onto the
+shared work queue, and drained by in-process worker threads (or spawned
+worker processes with ``--worker-mode spawn``).  Every request opens an
+obs span, and the submitting request's span context parents the campaign
+worker's spans, so ``repro-stats`` shows server-side critical paths.
+
+Degradation is graceful by construction: request read timeouts, a bounded
+pending-job queue answering 429 when full, oversize bodies answered 413,
+and a SIGTERM drain that finishes in-flight cells (atomic checkpoint and
+store writes mean a re-scan after any exit re-converges).
+"""
+
+from repro.service.config import ServiceConfig, service_env_summary
+
+__all__ = ["ServiceConfig", "service_env_summary"]

@@ -1,0 +1,135 @@
+"""Service configuration: flags, environment knobs, and their defaults.
+
+Everything the daemon resolves from the environment lives here so
+:func:`repro.harness.scale.resolved_config` can record it in run manifests
+(the same pattern the campaign/store knobs follow), and so tests construct
+:class:`ServiceConfig` directly without touching ``os.environ``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+#: Default bound on jobs queued but not yet finished (429 beyond it).
+DEFAULT_MAX_PENDING = 64
+
+#: Default cap on request body size in bytes (413 beyond it).
+DEFAULT_BODY_LIMIT = 1 << 20
+
+#: Default seconds a connection may sit idle mid-request before the read
+#: is abandoned and the connection closed.
+DEFAULT_REQUEST_TIMEOUT = 10.0
+
+#: Default cap on one long-poll's ``?wait=`` seconds.
+DEFAULT_MAX_WAIT = 30.0
+
+#: Default in-process campaign worker threads.
+DEFAULT_WORKERS = 2
+
+#: Default seconds the SIGTERM drain waits for in-flight work.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+_ENV_FLOATS = {
+    "REPRO_SERVICE_REQUEST_TIMEOUT": DEFAULT_REQUEST_TIMEOUT,
+    "REPRO_SERVICE_MAX_WAIT": DEFAULT_MAX_WAIT,
+    "REPRO_SERVICE_DRAIN_TIMEOUT": DEFAULT_DRAIN_TIMEOUT,
+}
+_ENV_INTS = {
+    "REPRO_SERVICE_MAX_PENDING": DEFAULT_MAX_PENDING,
+    "REPRO_SERVICE_BODY_LIMIT": DEFAULT_BODY_LIMIT,
+    "REPRO_SERVICE_WORKERS": DEFAULT_WORKERS,
+}
+
+
+def _env_float(name: str) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return _ENV_FLOATS[name]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def _env_int(name: str) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return _ENV_INTS[name]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+@dataclass
+class ServiceConfig:
+    """One daemon's resolved configuration."""
+
+    data_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is logged and queryable
+    workers: int = field(default_factory=lambda: _env_int("REPRO_SERVICE_WORKERS"))
+    worker_mode: str = "thread"  # "thread" | "spawn"
+    max_pending: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVICE_MAX_PENDING")
+    )
+    body_limit: int = field(default_factory=lambda: _env_int("REPRO_SERVICE_BODY_LIMIT"))
+    request_timeout: float = field(
+        default_factory=lambda: _env_float("REPRO_SERVICE_REQUEST_TIMEOUT")
+    )
+    max_wait: float = field(default_factory=lambda: _env_float("REPRO_SERVICE_MAX_WAIT"))
+    drain_timeout: float = field(
+        default_factory=lambda: _env_float("REPRO_SERVICE_DRAIN_TIMEOUT")
+    )
+
+    def __post_init__(self) -> None:
+        if self.worker_mode not in ("thread", "spawn"):
+            raise ConfigurationError(
+                f"worker_mode must be 'thread' or 'spawn', got {self.worker_mode!r}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+
+    # -- derived layout --------------------------------------------------
+
+    @property
+    def jobs_dir(self) -> str:
+        return os.path.join(self.data_dir, "jobs")
+
+    @property
+    def blobs_dir(self) -> str:
+        return os.path.join(self.data_dir, "blobs")
+
+    @property
+    def attribution_dir(self) -> str:
+        return os.path.join(self.data_dir, "attribution")
+
+    @property
+    def default_result_store(self) -> str:
+        return os.path.join(self.data_dir, "results")
+
+    @property
+    def default_trace_store(self) -> str:
+        return os.path.join(self.data_dir, "traces")
+
+
+def service_env_summary() -> dict:
+    """The service knobs the current environment resolves to (manifests)."""
+    return {
+        "data_dir": os.environ.get("REPRO_SERVICE_DIR", "").strip() or None,
+        "workers": _env_int("REPRO_SERVICE_WORKERS"),
+        "max_pending": _env_int("REPRO_SERVICE_MAX_PENDING"),
+        "body_limit": _env_int("REPRO_SERVICE_BODY_LIMIT"),
+        "request_timeout": _env_float("REPRO_SERVICE_REQUEST_TIMEOUT"),
+        "max_wait": _env_float("REPRO_SERVICE_MAX_WAIT"),
+        "drain_timeout": _env_float("REPRO_SERVICE_DRAIN_TIMEOUT"),
+    }

@@ -1,0 +1,128 @@
+"""Minimal HTTP/1.1 framing for the prediction service.
+
+The daemon speaks just enough HTTP for JSON APIs and load generators: a
+request head terminated by CRLFCRLF, ``Content-Length``-framed bodies (no
+chunked encoding), and keep-alive by default.  Parsing and response
+assembly are pure byte functions here — no sockets — so the protocol is
+unit-testable and the hot serving path pays only one parse and one
+``bytes`` concatenation per request.
+
+Everything a client can get wrong maps to a :class:`ProtocolError` with
+the HTTP status the connection handler should answer before closing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote
+
+#: Request heads larger than this are refused (431).
+MAX_HEAD_BYTES = 16384
+
+#: CRLFCRLF: end of a request head.
+HEAD_END = b"\r\n\r\n"
+
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_SUPPORTED_METHODS = ("GET", "POST", "HEAD", "DELETE")
+
+
+class ProtocolError(Exception):
+    """A malformed request; ``status`` is the HTTP answer to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request head (the body travels separately)."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def content_length(self) -> int:
+        raw = self.headers.get("content-length", "0")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length {raw!r}") from None
+        if length < 0:
+            raise ProtocolError(400, f"negative Content-Length {length}")
+        return length
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+def parse_head(head: bytes) -> HttpRequest:
+    """Parse one request head (everything through the blank line)."""
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise ProtocolError(400, "undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if method not in _SUPPORTED_METHODS:
+        raise ProtocolError(405, f"method {method!r} not supported")
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(400, f"unsupported protocol version {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    path, _, query_string = target.partition("?")
+    query = dict(parse_qsl(query_string, keep_blank_values=True))
+    return HttpRequest(
+        method=method, path=unquote(path), query=query, headers=headers
+    )
+
+
+def build_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Assemble one full response as bytes (status line through body)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Length: {len(body)}",
+        f"Content-Type: {content_type}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1")
+    return head + HEAD_END + body

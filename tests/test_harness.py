@@ -147,10 +147,20 @@ class TestScale:
             "ipc_instructions",
             "warmup_fraction",
             "campaign",
+            "service",
             "families",
         }
         assert set(config["campaign"]) == {"run_dir", "stale_seconds", "poll_seconds"}
         assert config["campaign"]["stale_seconds"] == 600.0
+        assert set(config["service"]) == {
+            "data_dir",
+            "workers",
+            "max_pending",
+            "body_limit",
+            "request_timeout",
+            "max_wait",
+            "drain_timeout",
+        }
         from repro.predictors import registry
 
         assert sorted(config["families"]) == registry.family_names()

@@ -1,0 +1,395 @@
+"""The prediction service: protocol, round-trips, concurrency, drain.
+
+Socket-level tests run the real asyncio daemon on an ephemeral loopback
+port (via :class:`tests.service_helpers.DaemonHarness`); dispatch-level
+tests drive :class:`ServiceApp` directly.  The graceful-drain drill runs
+``repro-serve`` as a genuine subprocess and SIGTERMs it mid-campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.predictors.registry import build_count
+from repro.service.config import ServiceConfig
+from repro.service.jobs import JOB_STATES
+from repro.service.protocol import (
+    HttpRequest,
+    ProtocolError,
+    build_response,
+    parse_head,
+)
+from tests.service_helpers import (
+    DaemonHarness,
+    get_json,
+    make_app,
+    mini_spec,
+    run_job,
+    set_service_env,
+    submit,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def trace_store(tmp_path_factory):
+    """One warm trace store shared by every test in this module."""
+    return tmp_path_factory.mktemp("traces")
+
+
+@pytest.fixture
+def env(monkeypatch, tmp_path, trace_store):
+    set_service_env(monkeypatch, tmp_path, trace_store)
+    return tmp_path
+
+
+# -- protocol units (no sockets) -----------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_head_roundtrip(self):
+        head = (
+            b"GET /v1/jobs/abc?wait=2.5 HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Length: 7\r\nConnection: close\r\n\r\n"
+        )
+        request = parse_head(head)
+        assert request.method == "GET"
+        assert request.path == "/v1/jobs/abc"
+        assert request.query == {"wait": "2.5"}
+        assert request.content_length == 7
+        assert not request.keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_head(b"BOGUS\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_method(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_head(b"PATCH /x HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 405
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_head(b"GET /x HTTP/2\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_header_line(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_head(b"GET /x HTTP/1.1\r\nnocolonhere\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length(self):
+        request = HttpRequest(
+            "POST", "/v1/jobs", headers={"content-length": "banana"}
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            request.content_length
+        assert excinfo.value.status == 400
+
+    def test_oversize_head_refused(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_head(b"GET /" + b"x" * 20000 + b" HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 431
+
+    def test_build_response_framing(self):
+        response = build_response(200, b'{"ok": true}')
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert body == b'{"ok": true}'
+
+
+# -- submit -> poll -> fetch over a real socket --------------------------------
+
+
+class TestRoundTrip:
+    def test_submit_poll_fetch_byte_identical(self, env, tmp_path, capsys):
+        """The served figure matches ``repro-figures --config`` exactly."""
+        spec = mini_spec()
+        config = ServiceConfig(data_dir=str(tmp_path / "svc"), workers=1)
+        with DaemonHarness(config) as harness:
+            code, doc = harness.request_json("POST", "/v1/jobs", spec)
+            assert code == 202
+            assert doc["state"] == "queued"
+            status = harness.wait_settled(doc["job_id"])
+            assert status["state"] == "completed"
+            assert status["counts"]["completed"] == 1
+
+            conn = harness.connect()
+            conn.request("GET", f"/v1/jobs/{doc['job_id']}/figure")
+            response = conn.getresponse()
+            assert response.status == 200
+            served = response.read()
+            # Same bytes again via the content-addressed results endpoint.
+            conn.request("GET", f"/v1/results/{status['figure_digest']}")
+            assert conn.getresponse().read() == served
+            # And again: the daemon's response cache must be transparent.
+            conn.request("GET", f"/v1/results/{status['figure_digest']}")
+            assert conn.getresponse().read() == served
+            conn.close()
+
+        # The CLI, pointed at the same stores, renders the same bytes.
+        from repro.harness.cli import main as figures_main
+
+        config_path = tmp_path / "mini.json"
+        config_path.write_text(json.dumps(spec))
+        out_dir = tmp_path / "out"
+        assert figures_main(["--config", str(config_path), "--output-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert (out_dir / "mini.txt").read_bytes() == served + b"\n"
+
+    def test_resubmit_completed_is_pure_cache_hit(self, env, tmp_path):
+        app, executor = make_app(tmp_path)
+        spec = mini_spec()
+        status = run_job(app, executor, spec)
+        assert status["state"] == "completed"
+        before = build_count()
+        code, doc = submit(app, spec)
+        assert code == 200  # not 202: nothing to do
+        assert doc["state"] == "completed"
+        assert doc["figure_digest"] == status["figure_digest"]
+        assert executor.run_pending() == 0
+        assert build_count() == before
+
+    def test_manifest_endpoint(self, env, tmp_path):
+        app, executor = make_app(tmp_path)
+        status = run_job(app, executor, mini_spec())
+        code, payload, ctype = app.handle(
+            "GET", f"/v1/jobs/{status['job_id']}/manifest"
+        )
+        assert code == 200 and ctype == "application/json"
+        manifest = json.loads(payload)
+        assert manifest["target"] == "mini"
+        assert manifest["output"]["bytes"] > 0
+
+    def test_long_poll_blocks_until_wait(self, env, tmp_path):
+        """With no workers the job stays queued; ?wait= holds the reply."""
+        config = ServiceConfig(data_dir=str(tmp_path / "svc"), workers=0)
+        with DaemonHarness(config) as harness:
+            code, doc = harness.request_json("POST", "/v1/jobs", mini_spec())
+            assert code == 202
+            started = time.perf_counter()
+            code, status = harness.request_json(
+                "GET", f"/v1/jobs/{doc['job_id']}?wait=1"
+            )
+            elapsed = time.perf_counter() - started
+            assert code == 200 and status["state"] == "queued"
+            assert elapsed >= 0.9
+
+    def test_attribution_endpoint_memoizes(self, env, tmp_path):
+        app, _ = make_app(tmp_path)
+        code, first = get_json(app, "/v1/attribution/gcc/gshare/1024")
+        assert code == 200
+        assert first["sites"] and first["benchmark"] == "gcc"
+        before = build_count()
+        code, second = get_json(app, "/v1/attribution/gcc/gshare/1024")
+        assert code == 200
+        assert second == first  # idempotent payload
+        assert build_count() == before  # zero predictor work on the hit
+
+
+# -- concurrent clients --------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_concurrent_submissions_share_work(self, env, tmp_path, obs_enabled):
+        """N clients, same spec: the grid executes exactly once."""
+        spec = mini_spec(families=("gshare", "bimodal"), budgets=(1024, 2048))
+        cells = 2 * 2  # families x budgets, one benchmark
+        config = ServiceConfig(data_dir=str(tmp_path / "svc"), workers=2)
+        before = build_count()
+        with DaemonHarness(config) as harness:
+            results: list[dict] = []
+            errors: list[Exception] = []
+
+            def client() -> None:
+                try:
+                    code, doc = harness.request_json("POST", "/v1/jobs", spec)
+                    assert code in (200, 202), doc
+                    results.append(harness.wait_settled(doc["job_id"]))
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors
+            assert len(results) == 6
+            assert {doc["state"] for doc in results} == {"completed"}
+            assert len({doc["job_id"] for doc in results}) == 1
+            assert len({doc["figure_digest"] for doc in results}) == 1
+        # Zero duplicated cell executions: one build per distinct cell,
+        # visible both in the global count and the obs counter.
+        assert build_count() - before == cells
+        assert obs_enabled.counter("predictors.builds").value == cells
+
+
+# -- error paths ---------------------------------------------------------------
+
+
+class TestErrorPaths:
+    def test_malformed_json_body(self, env, tmp_path):
+        app, _ = make_app(tmp_path)
+        code, payload, _ = app.handle("POST", "/v1/jobs", {}, b"{nope")
+        assert code == 400
+        assert "JSON" in json.loads(payload)["error"]
+
+    def test_invalid_spec_rejected(self, env, tmp_path):
+        app, _ = make_app(tmp_path)
+        bad = mini_spec()
+        bad["mode"] = "inferred"
+        code, payload, _ = app.handle("POST", "/v1/jobs", {}, json.dumps(bad).encode())
+        assert code == 400
+        code, _, _ = app.handle("POST", "/v1/jobs", {}, b'["not an object"]')
+        assert code == 400
+
+    def test_unknown_job_and_digest(self, env, tmp_path):
+        app, _ = make_app(tmp_path)
+        assert app.handle("GET", "/v1/jobs/feedface")[0] == 404
+        assert app.handle("GET", "/v1/results/feedface")[0] == 404
+        assert app.handle("GET", "/v1/attribution/gcc/nosuch/1024")[0] == 404
+        assert app.handle("GET", "/v1/attribution/nosuch/gshare/1024")[0] == 404
+        assert app.handle("GET", "/v1/attribution/gcc/gshare/abc")[0] == 400
+        assert app.handle("GET", "/nope")[0] == 404
+
+    def test_artifact_before_completion_conflicts(self, env, tmp_path):
+        app, _ = make_app(tmp_path)
+        code, doc = submit(app, mini_spec())
+        assert code == 202
+        code, payload, _ = app.handle("GET", f"/v1/jobs/{doc['job_id']}/figure")
+        assert code == 409
+        assert "queued" in json.loads(payload)["error"]
+
+    def test_method_not_allowed(self, env, tmp_path):
+        app, _ = make_app(tmp_path)
+        assert app.handle("DELETE", "/healthz")[0] == 405
+        assert app.handle("POST", "/v1/results/abc")[0] == 405
+
+    def test_backpressure_429_when_queue_full(self, env, tmp_path, obs_enabled):
+        app, _ = make_app(tmp_path, max_pending=1)
+        code, _ = submit(app, mini_spec(name="one"))
+        assert code == 202
+        code, payload, _ = app.handle(
+            "POST", "/v1/jobs", {}, json.dumps(mini_spec(name="two")).encode()
+        )
+        assert code == 429
+        assert "retry" in json.loads(payload)["error"]
+        # Re-submitting the *pending* spec is not new work: no 429.
+        code, _ = submit(app, mini_spec(name="one"))
+        assert code == 202
+
+    def test_socket_level_garbage_and_oversize(self, env, tmp_path):
+        config = ServiceConfig(
+            data_dir=str(tmp_path / "svc"), workers=0, body_limit=1024
+        )
+        with DaemonHarness(config) as harness:
+            raw = socket.create_connection(("127.0.0.1", harness.port), timeout=10)
+            raw.sendall(b"BOGUS /x\r\n\r\n")
+            assert raw.recv(400).startswith(b"HTTP/1.1 400 ")
+            raw.close()
+
+            conn = harness.connect(timeout=10)
+            conn.request(
+                "POST", "/v1/jobs", "x" * 2048, {"Content-Type": "application/json"}
+            )
+            assert conn.getresponse().status == 413
+            conn.close()
+
+    def test_healthz_and_metrics(self, env, tmp_path, obs_enabled):
+        app, executor = make_app(tmp_path)
+        code, health = get_json(app, "/healthz")
+        assert code == 200 and health["ok"] is True
+        run_job(app, executor, mini_spec())
+        code, metrics = get_json(app, "/metrics")
+        assert code == 200
+        assert metrics["predictor_builds"] >= 1
+        assert "counters" in metrics["metrics"]
+
+
+# -- graceful drain (real subprocess, real SIGTERM) ----------------------------
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_without_torn_state(self, env, tmp_path):
+        """SIGTERM mid-campaign: clean exit, no torn files, resumable."""
+        data_dir = tmp_path / "svc"
+        child_env = dict(os.environ)
+        child_env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service.daemon",
+                "--data-dir",
+                str(data_dir),
+                "--port",
+                "0",
+                "--workers",
+                "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=child_env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on" in line, line
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            spec = mini_spec(
+                name="drain", families=("gshare", "bimodal"), budgets=(1024, 2048)
+            )
+            conn = __import__("http.client", fromlist=["x"]).HTTPConnection(
+                "127.0.0.1", port, timeout=30
+            )
+            conn.request("POST", "/v1/jobs", json.dumps(spec))
+            doc = json.loads(conn.getresponse().read())
+            job_id = doc["job_id"]
+            conn.close()
+            time.sleep(0.8)  # let a worker claim cells
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # No torn store entries anywhere under the service state.
+        leftovers = [
+            str(path)
+            for path in data_dir.rglob("*")
+            if ".tmp." in path.name
+        ]
+        assert leftovers == []
+        # Whatever state the job landed in is a legal one...
+        status_path = data_dir / "jobs" / job_id / "status.json"
+        state = json.loads(status_path.read_text())["state"]
+        assert state in JOB_STATES
+        # ...and a fresh service instance finishes it to the same bytes a
+        # clean run produces.
+        app, executor = make_app(tmp_path)  # same data_dir: tmp_path/svc
+        for resumable_id in app.recover():
+            executor.enqueue(resumable_id)
+        executor.run_pending()
+        code, status = get_json(app, f"/v1/jobs/{job_id}")
+        assert code == 200 and status["state"] == "completed"
+        served, _ = app.jobs.figure_bytes(job_id)
+
+        from repro.harness.cli import RUNNERS
+        from repro.harness.figconfig import parse_config, run_target
+
+        assert served.decode() == run_target(parse_config(spec), RUNNERS)
